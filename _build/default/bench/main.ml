@@ -1,0 +1,172 @@
+(* The benchmark harness, in two parts:
+
+   1. Bechamel micro-benchmarks of the primitives our simulator's cost
+      model abstracts (hashing, MACs, threshold-signature operations, KV
+      execution) — real wall-clock numbers on this machine.
+
+   2. Regeneration of every table and figure in the paper's evaluation
+      (§IV): Fig. 1 (message census), Fig. 7 (upper bound), Fig. 8
+      (signature schemes), Fig. 9(a-l) (scalability / payload / batching /
+      out-of-order), Fig. 10 (view-change timeline) and Fig. 11 (message-
+      delay simulation). Expected-vs-measured commentary lives in
+      EXPERIMENTS.md.
+
+   Environment knobs:
+     BENCH_SCALE      - multiplies the simulated measurement window (default 1)
+     BENCH_QUICK      - if set, restricts replica counts and batch sweeps so
+                        the whole run finishes in a couple of minutes
+     BENCH_SKIP_MICRO - if set, skip the Bechamel section. *)
+
+module E = Poe_harness.Experiments
+module Sha256 = Poe_crypto.Sha256
+module Hmac = Poe_crypto.Hmac
+module Gf61 = Poe_crypto.Gf61
+module Threshold = Poe_crypto.Threshold
+module Kv = Poe_store.Kv_store
+
+let scale =
+  match Sys.getenv_opt "BENCH_SCALE" with
+  | Some s -> ( try float_of_string s with _ -> 1.0)
+  | None -> 1.0
+
+let quick = Sys.getenv_opt "BENCH_QUICK" <> None
+
+let clients_per_hub =
+  match Sys.getenv_opt "BENCH_CLIENTS" with
+  | Some s -> ( try int_of_string s with _ -> 4000)
+  | None -> if quick then 1500 else 4000
+
+let ns = if quick then [ 4; 16; 32 ] else [ 4; 16; 32; 64; 91 ]
+let batch_sizes = if quick then [ 10; 100; 400 ] else [ 10; 50; 100; 200; 400 ]
+let fig11_ns = if quick then [ 4; 16 ] else [ 4; 16; 128 ]
+
+(* ------------------------------------------------------------------ *)
+(* Part 1: micro-benchmarks                                            *)
+
+let microbenchmarks () =
+  let open Bechamel in
+  let msg256 = String.make 256 'x' in
+  let msg5400 = String.make 5400 'x' in
+  let scheme, signers = Threshold.setup ~n:16 ~threshold:11 ~seed:"bench" in
+  let shares =
+    Array.to_list signers
+    |> List.filteri (fun i _ -> i < 11)
+    |> List.map (fun s -> Threshold.sign_share s "bench-msg")
+  in
+  let store = Kv.create () in
+  Kv.load_ycsb store ~records:10_000 ~payload_bytes:32;
+  let tests =
+    [
+      Test.make ~name:"sha256-256B" (Staged.stage (fun () -> Sha256.digest msg256));
+      Test.make ~name:"sha256-5400B-one-PROPOSE"
+        (Staged.stage (fun () -> Sha256.digest msg5400));
+      Test.make ~name:"hmac-sha256-vote"
+        (Staged.stage (fun () -> Hmac.mac ~key:"0123456789abcdef" msg256));
+      Test.make ~name:"gf61-mul"
+        (Staged.stage (fun () ->
+             Gf61.mul (Gf61.of_int 123456789123) (Gf61.of_int 987654321987)));
+      Test.make ~name:"threshold-sign-share"
+        (Staged.stage (fun () -> Threshold.sign_share signers.(0) "bench-msg"));
+      Test.make ~name:"threshold-combine-11"
+        (Staged.stage (fun () -> Threshold.combine scheme ~msg:"bench-msg" shares));
+      Test.make ~name:"kv-update-one-YCSB-txn"
+        (Staged.stage (fun () -> Kv.apply store (Kv.Update ("user42", "value!"))));
+    ]
+  in
+  Printf.printf "== micro-benchmarks (wall clock on this machine) ==\n%!";
+  List.iter
+    (fun test ->
+      let results =
+        Benchmark.all
+          (Benchmark.cfg ~limit:500 ~quota:(Time.second 0.3) ())
+          [ Toolkit.Instance.monotonic_clock ]
+          test
+      in
+      let stats =
+        Analyze.all
+          (Analyze.ols ~bootstrap:0 ~r_square:false
+             ~predictors:[| Measure.run |])
+          Toolkit.Instance.monotonic_clock results
+      in
+      Hashtbl.iter
+        (fun name ols ->
+          match Analyze.OLS.estimates ols with
+          | Some [ est ] -> Printf.printf "%-32s %12.1f ns/op\n%!" name est
+          | Some _ | None -> Printf.printf "%-32s (no estimate)\n%!" name)
+        stats)
+    tests;
+  Printf.printf "\n%!"
+
+(* ------------------------------------------------------------------ *)
+(* Part 2: figure regeneration                                         *)
+
+let fmt = Format.std_formatter
+
+let section title = Format.fprintf fmt "---- %s ----@.@." title
+
+let fig1 () =
+  section "Fig. 1 (table): consensus cost per decision";
+  Format.fprintf fmt
+    "paper (analytic, normal case): zyzzyva 1 phase O(n); poe 3 linear@.\
+     phases O(3n); pbft 3 phases O(n+2n^2); sbft 5 linear phases O(5n);@.\
+     hotstuff chained TS rounds. Measured traffic also includes client@.\
+     requests, responses and checkpoints:@.@.";
+  E.print_series fmt (E.fig1_message_census ~scale ())
+
+let fig7 () =
+  section "Fig. 7: upper bound without consensus";
+  E.print_series fmt (E.fig7_upper_bound ~scale ())
+
+let fig8 () =
+  section "Fig. 8: signature schemes (PBFT, n=16)";
+  E.print_series fmt (E.fig8_signatures ~scale ())
+
+let fig9 () =
+  section "Fig. 9(a,b): scalability, standard payload, single backup failure";
+  E.print_series fmt
+    (E.fig9_scalability ~scale ~clients_per_hub ~ns E.Standard_failure);
+  section "Fig. 9(c,d): scalability, standard payload, no failures";
+  E.print_series fmt
+    (E.fig9_scalability ~scale ~clients_per_hub ~ns E.Standard_nofail);
+  section "Fig. 9(e,f): zero payload, single backup failure";
+  E.print_series fmt
+    (E.fig9_scalability ~scale ~clients_per_hub ~ns E.Zero_failure);
+  section "Fig. 9(g,h): zero payload, no failures";
+  E.print_series fmt
+    (E.fig9_scalability ~scale ~clients_per_hub ~ns E.Zero_nofail);
+  section "Fig. 9(i,j): batching under a single backup failure (n=32)";
+  E.print_series fmt (E.fig9_batching ~scale ~clients_per_hub ~batch_sizes ());
+  section "Fig. 9(k,l): out-of-order processing disabled";
+  E.print_series fmt (E.fig9_no_ooo ~scale ~ns ())
+
+let fig10 () =
+  section "Fig. 10: throughput timeline across a primary crash (n=32)";
+  let timelines = E.fig10_view_change ~scale () in
+  List.iter
+    (fun (name, series) ->
+      Format.fprintf fmt "%s:@." name;
+      List.iter
+        (fun (t, rate) -> Format.fprintf fmt "  t=%5.2fs  %10.0f txn/s@." t rate)
+        series;
+      Format.fprintf fmt "@.")
+    timelines
+
+let fig11 () =
+  section "Fig. 11: simulated decisions vs message delay (sequential)";
+  E.print_series fmt (E.fig11_simulation ~ns:fig11_ns ());
+  section "Fig. 11 (right): with out-of-order processing, window 250";
+  E.print_series fmt (E.fig11_simulation ~out_of_order:true ~ns:fig11_ns ())
+
+let () =
+  Printf.printf
+    "PoE reproduction bench (scale=%.2f%s) — one section per paper figure\n\n%!"
+    scale
+    (if quick then ", quick" else "");
+  if Sys.getenv_opt "BENCH_SKIP_MICRO" = None then microbenchmarks ();
+  fig1 ();
+  fig7 ();
+  fig8 ();
+  fig11 ();
+  fig10 ();
+  fig9 ();
+  Printf.printf "done.\n%!"

@@ -1,0 +1,235 @@
+(* Command-line driver for the PoE reproduction.
+
+   poe-sim run --protocol poe --replicas 32 --crash-backup ...
+       simulate one deployment and report throughput/latency
+   poe-sim experiment fig9ab ...
+       regenerate one of the paper's figures
+   poe-sim list
+       show the experiment catalogue. *)
+
+module R = Poe_runtime
+module E = Poe_harness.Experiments
+module Cluster = Poe_harness.Cluster
+module Config = R.Config
+open Cmdliner
+
+let protocol_conv =
+  let parse s =
+    match
+      List.find_opt (fun p -> E.protocol_name p = String.lowercase_ascii s)
+        E.all_protocols
+    with
+    | Some p -> Ok p
+    | None ->
+        Error
+          (`Msg
+            (Printf.sprintf "unknown protocol %S (try %s)" s
+               (String.concat ", " (List.map E.protocol_name E.all_protocols))))
+  in
+  Arg.conv (parse, fun fmt p -> Format.pp_print_string fmt (E.protocol_name p))
+
+let protocol =
+  Arg.(
+    value
+    & opt protocol_conv E.Poe
+    & info [ "p"; "protocol" ] ~docv:"PROTOCOL"
+        ~doc:"Protocol: poe, pbft, zyzzyva, sbft or hotstuff.")
+
+let replicas =
+  Arg.(
+    value & opt int 16
+    & info [ "n"; "replicas" ] ~docv:"N" ~doc:"Number of replicas (>= 4).")
+
+let batch_size =
+  Arg.(
+    value & opt int 100
+    & info [ "b"; "batch-size" ] ~docv:"B" ~doc:"Requests per batch.")
+
+let clients =
+  Arg.(
+    value & opt int 64_000
+    & info [ "clients" ] ~docv:"C"
+        ~doc:"Logical clients, spread over 16 client machines.")
+
+let zero_payload =
+  Arg.(
+    value & flag
+    & info [ "zero-payload" ] ~doc:"Run the zero-payload configuration.")
+
+let crash_backup =
+  Arg.(
+    value & flag
+    & info [ "crash-backup" ] ~doc:"Fail-stop one backup replica at t=0.05s.")
+
+let crash_primary_at =
+  Arg.(
+    value & opt (some float) None
+    & info [ "crash-primary-at" ] ~docv:"T"
+        ~doc:"Fail-stop the initial primary at simulated time T.")
+
+let no_ooo =
+  Arg.(
+    value & flag
+    & info [ "no-out-of-order" ]
+        ~doc:"Disable out-of-order processing (sequential window).")
+
+let duration =
+  Arg.(
+    value & opt float 2.0
+    & info [ "duration" ] ~docv:"SECONDS"
+        ~doc:"Simulated measurement window (after 0.6s warmup).")
+
+let seed =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Simulation seed.")
+
+let scale =
+  Arg.(
+    value & opt float 1.0
+    & info [ "scale" ] ~docv:"S" ~doc:"Scale experiment durations by S.")
+
+let run_cmd =
+  let run protocol n batch_size clients zero crash_backup crash_primary_at
+      no_ooo duration seed =
+    let (module P : R.Protocol_intf.S) =
+      match protocol with
+      | E.Poe -> (module Poe_core.Poe_protocol)
+      | E.Pbft -> (module Poe_pbft.Pbft_protocol)
+      | E.Zyzzyva -> (module Poe_zyzzyva.Zyzzyva_protocol)
+      | E.Sbft -> (module Poe_sbft.Sbft_protocol)
+      | E.Hotstuff -> (module Poe_hotstuff.Hotstuff_protocol)
+    in
+    let scheme =
+      match protocol with
+      | E.Poe -> if n <= 16 then Config.Auth_mac else Config.Auth_threshold
+      | E.Pbft | E.Zyzzyva -> Config.Auth_mac
+      | E.Sbft | E.Hotstuff -> Config.Auth_threshold
+    in
+    let config =
+      Config.make ~n ~batch_size
+        ~payload:(if zero then Config.Zero else Config.Standard)
+        ~replica_scheme:scheme ~out_of_order:(not no_ooo)
+        ~clients_per_hub:(max 1 (clients / 16))
+        ~request_timeout:0.5 ~seed ()
+    in
+    let module C = Cluster.Make (P) in
+    let params =
+      { (Cluster.default_params ~config) with warmup = 0.6; measure = duration }
+    in
+    let c = C.build params in
+    if crash_backup then C.crash_replica c (n - 1) ~at:0.05;
+    (match crash_primary_at with
+    | Some t -> C.crash_replica c 0 ~at:t
+    | None -> ());
+    C.run c;
+    Format.printf
+      "protocol=%s n=%d batch=%d payload=%s clients=%d%s@\n\
+       throughput   %10.0f txn/s@\n\
+       avg latency  %10.4f s@\n\
+       decisions    %10.1f /s@\n\
+       messages     %10d total@\n\
+       safety       %s@."
+      P.name n batch_size
+      (if zero then "zero" else "standard")
+      (Config.total_clients config)
+      (if crash_backup then " (one backup crashed)" else "")
+      (C.throughput c) (C.avg_latency c)
+      (R.Stats.consensus_throughput c.C.stats)
+      (Poe_simnet.Network.sent_messages c.C.net)
+      (if C.committed_prefix_agrees c then "prefix agreement holds"
+       else "VIOLATED")
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Simulate one deployment of a protocol.")
+    Term.(
+      const run $ protocol $ replicas $ batch_size $ clients $ zero_payload
+      $ crash_backup $ crash_primary_at $ no_ooo $ duration $ seed)
+
+let experiments : (string * string * (float -> unit)) list =
+  let fmt = Format.std_formatter in
+  [
+    ( "fig1",
+      "message census per protocol (Fig. 1's table, measured)",
+      fun scale -> E.print_series fmt (E.fig1_message_census ~scale ()) );
+    ( "fig7",
+      "upper bound without consensus (Fig. 7)",
+      fun scale -> E.print_series fmt (E.fig7_upper_bound ~scale ()) );
+    ( "fig8",
+      "signature schemes, PBFT n=16 (Fig. 8)",
+      fun scale -> E.print_series fmt (E.fig8_signatures ~scale ()) );
+    ( "fig9ab",
+      "scalability, standard payload, single backup failure (Fig. 9a,b)",
+      fun scale ->
+        E.print_series fmt (E.fig9_scalability ~scale E.Standard_failure) );
+    ( "fig9cd",
+      "scalability, standard payload, no failures (Fig. 9c,d)",
+      fun scale ->
+        E.print_series fmt (E.fig9_scalability ~scale E.Standard_nofail) );
+    ( "fig9ef",
+      "scalability, zero payload, single backup failure (Fig. 9e,f)",
+      fun scale -> E.print_series fmt (E.fig9_scalability ~scale E.Zero_failure)
+    );
+    ( "fig9gh",
+      "scalability, zero payload, no failures (Fig. 9g,h)",
+      fun scale -> E.print_series fmt (E.fig9_scalability ~scale E.Zero_nofail)
+    );
+    ( "fig9ij",
+      "batching under failure, n=32 (Fig. 9i,j)",
+      fun scale -> E.print_series fmt (E.fig9_batching ~scale ()) );
+    ( "fig9kl",
+      "out-of-order disabled (Fig. 9k,l)",
+      fun scale -> E.print_series fmt (E.fig9_no_ooo ~scale ()) );
+    ( "fig10",
+      "view-change throughput timeline (Fig. 10)",
+      fun scale ->
+        List.iter
+          (fun (name, series) ->
+            Format.printf "%s:@." name;
+            List.iter
+              (fun (t, rate) ->
+                Format.printf "  t=%5.2fs  %10.0f txn/s@." t rate)
+              series)
+          (E.fig10_view_change ~scale ()) );
+    ( "fig11",
+      "pure message-delay simulation (Fig. 11, sequential)",
+      fun _ -> E.print_series fmt (E.fig11_simulation ()) );
+    ( "fig11-ooo",
+      "message-delay simulation with out-of-order window 250 (Fig. 11)",
+      fun _ -> E.print_series fmt (E.fig11_simulation ~out_of_order:true ()) );
+  ]
+
+let experiment_cmd =
+  let name_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"EXPERIMENT" ~doc:"Experiment id (see $(b,list)).")
+  in
+  let run name scale =
+    match List.find_opt (fun (id, _, _) -> id = name) experiments with
+    | Some (_, _, f) ->
+        f scale;
+        `Ok ()
+    | None ->
+        `Error
+          (false, Printf.sprintf "unknown experiment %S; try 'poe_sim list'" name)
+  in
+  Cmd.v
+    (Cmd.info "experiment" ~doc:"Regenerate one of the paper's figures.")
+    Term.(ret (const run $ name_arg $ scale))
+
+let list_cmd =
+  let run () =
+    Format.printf "experiments:@.";
+    List.iter
+      (fun (id, doc, _) -> Format.printf "  %-10s %s@." id doc)
+      experiments
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List available experiments.")
+    Term.(const run $ const ())
+
+let () =
+  let doc = "Proof-of-Execution (EDBT 2021) reproduction driver" in
+  exit
+    (Cmd.eval
+       (Cmd.group
+          (Cmd.info "poe_sim" ~doc)
+          [ run_cmd; experiment_cmd; list_cmd ]))

@@ -1,0 +1,1 @@
+examples/bank.ml: Array Format List Poe_core Poe_harness Poe_ledger Poe_runtime Poe_simnet Poe_store Printf

@@ -1,0 +1,1 @@
+examples/byzantine_primary.ml: Array Format Poe_core Poe_harness Poe_runtime String

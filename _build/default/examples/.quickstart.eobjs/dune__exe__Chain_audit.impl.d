@@ -1,0 +1,1 @@
+examples/chain_audit.ml: Array Format Hashtbl List Poe_crypto Poe_ledger Printf String

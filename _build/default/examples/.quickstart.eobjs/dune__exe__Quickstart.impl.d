@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Format Poe_core Poe_harness Poe_ledger Poe_runtime

@@ -1,0 +1,46 @@
+(* The byzantine-primary gallery (Example 3 of the paper): run each attack
+   against a PoE cluster and watch the defences — Proposition 2 stops
+   equivocation, checkpoints + state transfer rescue replicas kept in the
+   dark (Theorem 7), and the view-change replaces a mute primary.
+
+     dune exec examples/byzantine_primary.exe *)
+
+module R = Poe_runtime
+module Config = R.Config
+module Ctx = R.Replica_ctx
+module Cluster = Poe_harness.Cluster
+module P = Poe_core.Poe_protocol
+module PoE = Cluster.Make (P)
+
+let scenario name behavior =
+  let config =
+    Config.make ~n:4 ~batch_size:5 ~materialize:true
+      ~replica_scheme:Config.Auth_mac ~n_hubs:2 ~clients_per_hub:6
+      ~request_timeout:0.4 ~view_timeout:0.2 ~checkpoint_period:8 ()
+  in
+  let params =
+    { (Cluster.default_params ~config) with warmup = 0.2; measure = 2.5 }
+  in
+  let cluster = PoE.build params in
+  PoE.set_behavior cluster 0 behavior;
+  PoE.run cluster;
+  let views = Array.map P.view_of cluster.PoE.replicas in
+  let execs = Array.map P.k_exec cluster.PoE.replicas in
+  Format.printf "%-18s completed=%5d views=[%s] k_exec=[%s] safe=%b@." name
+    (R.Stats.completed_total cluster.PoE.stats)
+    (String.concat "," (Array.to_list (Array.map string_of_int views)))
+    (String.concat "," (Array.to_list (Array.map string_of_int execs)))
+    (PoE.committed_prefix_agrees cluster)
+
+let () =
+  Format.printf
+    "byzantine primary scenarios (n=4, replica 0 is the view-0 primary)@.@.";
+  scenario "honest" Ctx.Honest;
+  scenario "equivocate" Ctx.Equivocate;
+  scenario "keep-2-in-dark" (Ctx.Keep_in_dark [ 2 ]);
+  scenario "stop-proposing" Ctx.Stop_proposing;
+  Format.printf
+    "@.reading the table: equivocation can commit at most one of the two@.\
+     proposals per slot (Proposition 2) so safety holds; a replica kept in@.\
+     the dark trails briefly, then catches up by state transfer; a mute@.\
+     primary is replaced by a view change and service continues in view 1.@."

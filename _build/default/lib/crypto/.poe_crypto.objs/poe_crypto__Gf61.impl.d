@@ -1,0 +1,1 @@
+lib/crypto/gf61.ml: Char Format Stdlib String

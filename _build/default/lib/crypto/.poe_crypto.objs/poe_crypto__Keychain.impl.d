@@ -1,0 +1,1 @@
+lib/crypto/keychain.ml: Format Hmac Printf

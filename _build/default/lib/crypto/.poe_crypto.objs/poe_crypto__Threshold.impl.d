@@ -1,0 +1,1 @@
+lib/crypto/threshold.ml: Array Char Gf61 Hmac List Printf Sha256 Shamir String

@@ -1,0 +1,69 @@
+type t = int
+
+let p = (1 lsl 61) - 1
+
+let zero = 0
+let one = 1
+
+(* Reduce a value in [0, 2^63) to [0, p). Because p = 2^61 - 1, we have
+   2^61 = 1 (mod p), so folding the high bits onto the low bits reduces the
+   value; two folds plus a final conditional subtraction suffice. *)
+let reduce x =
+  let x = (x land p) + (x lsr 61) in
+  let x = (x land p) + (x lsr 61) in
+  if x >= p then x - p else x
+
+let of_int x =
+  let r = x mod p in
+  if r < 0 then r + p else r
+
+let to_int x = x
+
+let equal (a : t) (b : t) = a = b
+let compare (a : t) (b : t) = Stdlib.compare a b
+
+let add a b = reduce (a + b)
+
+let sub a b = if a >= b then a - b else a - b + p
+
+let neg a = if a = 0 then 0 else p - a
+
+(* Multiplication splits each operand into a 30-bit high part and a 31-bit
+   low part so every intermediate product fits in 61 bits and every sum in
+   62 bits, both safely inside OCaml's 63-bit native int:
+     a*b = ah*bh*2^62 + (ah*bl + al*bh)*2^31 + al*bl
+   and modulo p: 2^62 = 2 and mid*2^31 folds as mid_hi + mid_lo*2^31. *)
+let mul a b =
+  let ah = a lsr 31 and al = a land 0x7FFFFFFF in
+  let bh = b lsr 31 and bl = b land 0x7FFFFFFF in
+  let hi = reduce (2 * (ah * bh)) in
+  let mid = (ah * bl) + (al * bh) in
+  let mid_hi = mid lsr 30 and mid_lo = mid land 0x3FFFFFFF in
+  (* mid*2^31 = mid_hi*2^61 + mid_lo*2^31 = mid_hi + mid_lo*2^31 (mod p) *)
+  let mid_red = reduce (mid_hi + (mid_lo lsl 31)) in
+  let lo = reduce (al * bl) in
+  reduce (reduce (hi + mid_red) + lo)
+
+let pow x e =
+  assert (e >= 0);
+  let rec go acc base e =
+    if e = 0 then acc
+    else
+      let acc = if e land 1 = 1 then mul acc base else acc in
+      go acc (mul base base) (e lsr 1)
+  in
+  go one x e
+
+let inv x = if x = 0 then raise Division_by_zero else pow x (p - 2)
+
+let div a b = mul a (inv b)
+
+let of_bytes s =
+  let byte i = if i < String.length s then Char.code s.[i] else 0 in
+  let rec go acc i = if i = 7 then acc else go ((acc lsl 8) lor byte i) (i + 1) in
+  (* 64 accumulated bits would overflow the sign bit; take 7 bytes then fold
+     the 8th in through field arithmetic. *)
+  let hi56 = go 0 0 in
+  add (mul (of_int hi56) (of_int 256)) (of_int (byte 7))
+
+let pp fmt x = Format.fprintf fmt "%d" x

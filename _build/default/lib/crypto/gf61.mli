@@ -1,0 +1,49 @@
+(** Arithmetic in the prime field GF(2^61 - 1).
+
+    2^61 - 1 is a Mersenne prime, which makes modular reduction cheap on
+    OCaml's 63-bit native integers: any 62-bit intermediate value [x] reduces
+    as [(x land p) + (x lsr 61)]. Field elements are represented as native
+    [int] values in the range [0, p).
+
+    This field underlies {!Shamir} secret sharing and the {!Threshold}
+    signature scheme. *)
+
+type t = private int
+(** A field element, guaranteed in [0, p). *)
+
+val p : int
+(** The field modulus, [2^61 - 1]. *)
+
+val zero : t
+val one : t
+
+val of_int : int -> t
+(** [of_int x] reduces [x] modulo [p]. Negative inputs are mapped to their
+    canonical non-negative residue. *)
+
+val to_int : t -> int
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val neg : t -> t
+val mul : t -> t -> t
+
+val pow : t -> int -> t
+(** [pow x e] is [x]{^ e} for [e >= 0]. *)
+
+val inv : t -> t
+(** Multiplicative inverse via Fermat's little theorem.
+    @raise Division_by_zero on {!zero}. *)
+
+val div : t -> t -> t
+(** [div a b] is [mul a (inv b)]. @raise Division_by_zero when [b] is zero. *)
+
+val of_bytes : string -> t
+(** Interpret the first 8 bytes of a string (big-endian) as a field element,
+    reduced mod [p]. Shorter strings are zero-padded. Used to hash digests
+    into the field. *)
+
+val pp : Format.formatter -> t -> unit

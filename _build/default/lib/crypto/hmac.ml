@@ -1,0 +1,32 @@
+let block_size = 64
+
+let normalize_key key =
+  let key = if String.length key > block_size then Sha256.digest key else key in
+  if String.length key = block_size then key
+  else key ^ String.make (block_size - String.length key) '\000'
+
+let xor_pad key byte =
+  String.init block_size (fun i -> Char.chr (Char.code key.[i] lxor byte))
+
+let mac_list ~key parts =
+  let key = normalize_key key in
+  let inner = Sha256.digest_list (xor_pad key 0x36 :: parts) in
+  Sha256.digest_list [ xor_pad key 0x5c; inner ]
+
+let mac ~key msg = mac_list ~key [ msg ]
+
+let verify ~key msg ~tag =
+  let expected = mac ~key msg in
+  String.length tag = String.length expected
+  &&
+  (* Constant-time fold so verification time does not leak the mismatch
+     position. *)
+  let diff = ref 0 in
+  String.iteri
+    (fun i c -> diff := !diff lor (Char.code c lxor Char.code expected.[i]))
+    tag;
+  !diff = 0
+
+let truncated ~key msg n =
+  if n < 1 || n > Sha256.digest_size then invalid_arg "Hmac.truncated";
+  String.sub (mac ~key msg) 0 n

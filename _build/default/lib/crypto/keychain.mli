@@ -1,0 +1,38 @@
+(** Key management for a (replicas + clients) deployment.
+
+    Mirrors the ResilientDB setup: every pair of communicating nodes shares a
+    symmetric MAC key (the paper's CMAC+AES channel), and every node has an
+    identity signing key for digital signatures (the paper's ED25519),
+    here HMAC-based with the keychain acting as the public-key directory —
+    see DESIGN.md "Substitutions".
+
+    Node identifiers: replicas are [Replica i] with [0 <= i < n_replicas],
+    clients are [Client j] with [0 <= j < n_clients]. *)
+
+type node = Replica of int | Client of int
+
+type t
+
+val create : n_replicas:int -> n_clients:int -> seed:string -> t
+(** Deterministic key generation from [seed]. *)
+
+val n_replicas : t -> int
+val n_clients : t -> int
+
+(** {1 Pairwise MACs} *)
+
+val mac : t -> src:node -> dst:node -> string -> string
+(** Authenticator on a message sent from [src] to [dst] (32 bytes). *)
+
+val check_mac : t -> src:node -> dst:node -> string -> tag:string -> bool
+
+(** {1 Identity signatures} *)
+
+val sign : t -> signer:node -> string -> string
+(** Digital signature by [signer] (32 bytes); anyone holding the keychain
+    (i.e., any simulated party) can verify it. *)
+
+val check_sign : t -> signer:node -> string -> tag:string -> bool
+
+val node_equal : node -> node -> bool
+val pp_node : Format.formatter -> node -> unit

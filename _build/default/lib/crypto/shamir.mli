@@ -1,0 +1,28 @@
+(** Shamir secret sharing over GF(2^61 - 1).
+
+    A dealer splits a secret into [n] shares such that any [threshold] of
+    them reconstruct it and fewer reveal nothing. This is the basis of the
+    {!Threshold} signature scheme that stands in for the paper's BLS
+    threshold signatures. *)
+
+type share = { index : int; value : Gf61.t }
+(** A share evaluated at the public point [x = index]; indices are 1-based
+    and must be distinct. *)
+
+val split :
+  secret:Gf61.t -> threshold:int -> shares:int -> rand:(unit -> Gf61.t) ->
+  share array
+(** [split ~secret ~threshold ~shares ~rand] evaluates a random polynomial of
+    degree [threshold - 1] with constant term [secret] at points [1..shares].
+    [rand] supplies the random coefficients.
+    @raise Invalid_argument unless [1 <= threshold <= shares < Gf61.p]. *)
+
+val lagrange_at_zero : int list -> Gf61.t list
+(** [lagrange_at_zero indices] are the Lagrange basis coefficients λ_i such
+    that [f 0 = Σ λ_i · f i] for any polynomial [f] of degree
+    [< List.length indices]. Indices must be distinct and non-zero.
+    Exposed for {!Threshold}, which combines signature shares linearly. *)
+
+val reconstruct : share list -> Gf61.t
+(** Recover the secret from [threshold] (or more, all consistent) shares.
+    @raise Invalid_argument on duplicate indices or an empty list. *)

@@ -1,0 +1,99 @@
+type scheme = {
+  n : int;
+  threshold : int;
+  master : Gf61.t;            (* verification key: σ must equal master·H(m) *)
+  key_shares : Gf61.t array;  (* dealer copy, used to verify shares *)
+}
+
+type signer = { index : int; key : Gf61.t }
+
+type share = { share_index : int; value : Gf61.t }
+
+type signature = Gf61.t
+
+(* Deterministic stream of field elements derived from a seed, used by the
+   dealer for the polynomial coefficients. *)
+let field_stream seed =
+  let counter = ref 0 in
+  fun () ->
+    incr counter;
+    let block = Hmac.mac ~key:seed (string_of_int !counter) in
+    Gf61.of_bytes block
+
+let setup ~n ~threshold ~seed =
+  if n < 1 || threshold < 1 || threshold > n then invalid_arg "Threshold.setup";
+  let rand = field_stream seed in
+  let master = rand () in
+  let shares = Shamir.split ~secret:master ~threshold ~shares:n ~rand in
+  let key_shares = Array.map (fun (s : Shamir.share) -> s.value) shares in
+  let scheme = { n; threshold; master; key_shares } in
+  let signers =
+    Array.init n (fun i -> { index = i; key = key_shares.(i) })
+  in
+  (scheme, signers)
+
+let n scheme = scheme.n
+let threshold scheme = scheme.threshold
+
+let signer_index s = s.index
+
+(* Hash a message to a non-zero field element. Zero would make every share
+   trivially zero, so it is mapped to one. *)
+let hash_to_field msg =
+  let h = Gf61.of_bytes (Sha256.digest msg) in
+  if Gf61.equal h Gf61.zero then Gf61.one else h
+
+let sign_share signer msg =
+  { share_index = signer.index; value = Gf61.mul signer.key (hash_to_field msg) }
+
+let share_index s = s.share_index
+
+let verify_share scheme ~msg share =
+  share.share_index >= 0
+  && share.share_index < scheme.n
+  && Gf61.equal share.value
+       (Gf61.mul scheme.key_shares.(share.share_index) (hash_to_field msg))
+
+let combine scheme ~msg shares =
+  let distinct =
+    List.sort_uniq compare (List.map (fun s -> s.share_index) shares)
+  in
+  if List.length distinct <> List.length shares then
+    Error "duplicate signer in share set"
+  else if List.length shares < scheme.threshold then
+    Error
+      (Printf.sprintf "need %d shares, got %d" scheme.threshold
+         (List.length shares))
+  else if not (List.for_all (verify_share scheme ~msg) shares) then
+    Error "invalid share in set"
+  else begin
+    (* Shamir indices are 1-based; signer i holds the share at point i+1. *)
+    let points = List.map (fun s -> s.share_index + 1) shares in
+    let lambdas = Shamir.lagrange_at_zero points in
+    let sigma =
+      List.fold_left2
+        (fun acc s lambda -> Gf61.add acc (Gf61.mul lambda s.value))
+        Gf61.zero shares lambdas
+    in
+    Ok sigma
+  end
+
+let verify scheme ~msg sigma =
+  Gf61.equal sigma (Gf61.mul scheme.master (hash_to_field msg))
+
+let signature_bytes sigma =
+  let v = Gf61.to_int sigma in
+  String.init 8 (fun i -> Char.chr ((v lsr ((7 - i) * 8)) land 0xFF))
+
+let signature_of_bytes s =
+  if String.length s <> 8 then None
+  else begin
+    let v = ref 0 in
+    (* Field elements fit in 61 bits, so the top byte's high bits are 0 and
+       the accumulation cannot overflow OCaml's 63-bit int. *)
+    String.iter (fun c -> v := (!v lsl 8) lor Char.code c) s;
+    if !v < 0 || !v >= Gf61.p then None else Some (Gf61.of_int !v)
+  end
+
+let forge_share ~index msg =
+  { share_index = index; value = Gf61.add (hash_to_field msg) Gf61.one }

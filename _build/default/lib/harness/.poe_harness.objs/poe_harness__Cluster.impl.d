@@ -1,0 +1,1 @@
+lib/harness/cluster.ml: Array List Option Poe_crypto Poe_runtime Poe_simnet Poe_store Printf String

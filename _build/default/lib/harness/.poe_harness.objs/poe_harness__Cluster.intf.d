@@ -1,0 +1,1 @@
+lib/harness/cluster.mli: Poe_runtime Poe_simnet

@@ -1,0 +1,1 @@
+lib/harness/experiments.ml: Array Cluster Format List Poe_core Poe_hotstuff Poe_pbft Poe_runtime Poe_sbft Poe_simnet Poe_zyzzyva Upper_bound

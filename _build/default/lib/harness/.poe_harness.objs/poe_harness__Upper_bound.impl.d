@@ -1,0 +1,1 @@
+lib/harness/upper_bound.ml: Array List Poe_runtime Poe_simnet

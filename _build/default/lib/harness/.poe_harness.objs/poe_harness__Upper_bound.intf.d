@@ -1,0 +1,1 @@
+lib/harness/upper_bound.mli: Poe_runtime

@@ -1,0 +1,163 @@
+module R = Poe_runtime
+module Engine = Poe_simnet.Engine
+module Network = Poe_simnet.Network
+module Latency = Poe_simnet.Latency
+module Rng = Poe_simnet.Rng
+module Config = R.Config
+module Cost = R.Cost
+module Message = R.Message
+module Stats = R.Stats
+module Server = R.Server
+module Ctx = R.Replica_ctx
+module Hub = R.Hub_core
+module Threshold = Poe_crypto.Threshold
+
+type params = {
+  config : Config.t;
+  cost : Cost.t;
+  latency : Latency.t;
+  bandwidth : float option;
+  loss : float;
+  warmup : float;
+  measure : float;
+  autostart_clients : bool;
+}
+
+let default_params ~config =
+  {
+    config;
+    cost = Cost.default;
+    latency = Latency.Lognormalish { base = 0.0003; jitter = 0.00015 };
+    bandwidth = Some 1.25e9;
+    loss = 0.0;
+    warmup = 1.0;
+    measure = 3.0;
+    autostart_clients = true;
+  }
+
+module Make (P : R.Protocol_intf.S) = struct
+  type t = {
+    params : params;
+    engine : Engine.t;
+    net : Message.t Network.t;
+    stats : Stats.t;
+    replicas : P.replica array;
+    hubs : Hub.t array;
+  }
+
+  let build params =
+    let cfg = params.config in
+    let n = cfg.Config.n in
+    let engine = Engine.create ~seed:cfg.Config.seed () in
+    let net =
+      Network.create ~engine ~n_nodes:(n + cfg.Config.n_hubs)
+        ~latency:params.latency ~bandwidth_bytes_per_s:params.bandwidth
+        ~loss_probability:params.loss ()
+    in
+    let stats = Stats.create ~warmup:params.warmup ~measure:params.measure in
+    let root_rng = Rng.split (Engine.rng engine) in
+    (* Real threshold keys only when the run materializes state; cost-only
+       runs charge the crypto without computing it. *)
+    let threshold_material =
+      if cfg.Config.materialize && cfg.Config.replica_scheme = Config.Auth_threshold
+      then
+        let scheme, signers =
+          Threshold.setup ~n ~threshold:(Config.nf cfg)
+            ~seed:(Printf.sprintf "cluster-%d" cfg.Config.seed)
+        in
+        Some (scheme, signers)
+      else None
+    in
+    let replicas =
+      Array.init n (fun id ->
+          let server = Server.create ~engine () in
+          let threshold =
+            Option.map (fun (scheme, signers) -> (scheme, signers.(id)))
+              threshold_material
+          in
+          let ctx =
+            Ctx.create ~id ~config:cfg ~cost:params.cost ~engine ~net ~server
+              ~stats ~rng:(Rng.split root_rng) ?threshold ()
+          in
+          P.create_replica ctx)
+    in
+    (* Input threads: charge authentication and handling on the Io lanes,
+       then run the protocol handler. *)
+    Array.iteri
+      (fun id replica ->
+        let ctx = P.ctx replica in
+        Network.set_handler net id (fun ~src ~bytes msg ->
+            if Ctx.alive ctx then begin
+              let cpu =
+                P.receive_cost ~src cfg params.cost msg
+                +. (float_of_int bytes *. params.cost.Cost.msg_per_byte)
+              in
+              Ctx.work ctx Server.Io ~cost:cpu (fun () ->
+                  P.on_message replica ~src msg)
+            end))
+      replicas;
+    let workload =
+      if cfg.Config.materialize then
+        Some (Poe_store.Ycsb.create Poe_store.Ycsb.small_profile)
+      else None
+    in
+    let hubs =
+      Array.init cfg.Config.n_hubs (fun h ->
+          let hub =
+            Hub.create ~hub:h ~config:cfg ~engine ~net ~stats
+              ~rng:(Rng.split root_rng) ~workload ~hooks:(P.hub_hooks cfg) ()
+          in
+          Network.set_handler net (n + h) (fun ~src ~bytes:_ msg ->
+              Hub.on_network_message hub ~src msg);
+          hub)
+    in
+    ignore
+      (Engine.schedule engine ~delay:0.0 (fun () ->
+           Array.iter P.start_replica replicas;
+           if params.autostart_clients then Array.iter Hub.start hubs));
+    { params; engine; net; stats; replicas; hubs }
+
+  let run ?until t =
+    let until =
+      Option.value until ~default:(t.params.warmup +. t.params.measure)
+    in
+    Engine.run ~until t.engine
+
+  let crash_replica t id ~at =
+    let ctx = P.ctx t.replicas.(id) in
+    ignore
+      (Engine.schedule t.engine
+         ~delay:(at -. Engine.now t.engine)
+         (fun () -> Ctx.kill ctx))
+
+  let set_behavior t id b = Ctx.set_behavior (P.ctx t.replicas.(id)) b
+
+  let throughput t = Stats.throughput t.stats
+  let avg_latency t = Stats.avg_latency t.stats
+
+  let replica_ctx t id = P.ctx t.replicas.(id)
+
+  let committed_prefix_agrees t =
+    let logs =
+      Array.to_list t.replicas
+      |> List.filter_map (fun r ->
+             let ctx = P.ctx r in
+             if Ctx.alive ctx && Ctx.behavior ctx = Ctx.Honest then
+               Some (Ctx.executed_digests ctx)
+             else None)
+    in
+    let agree l1 l2 =
+      (* Same digest wherever both logs have an entry for a seqno. *)
+      List.for_all
+        (fun (s, d) ->
+          match List.assoc_opt s l2 with
+          | Some d' -> String.equal d d'
+          | None -> true)
+        l1
+    in
+    let rec pairwise = function
+      | [] -> true
+      | l :: rest -> List.for_all (agree l) rest && pairwise rest
+    in
+    pairwise logs
+end

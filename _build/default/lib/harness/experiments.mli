@@ -1,0 +1,75 @@
+(** One runner per table/figure of the paper's evaluation (§IV).
+
+    Each runner returns structured measurements (and can print them in the
+    paper's layout); `bench/main.ml` and `bin/poe_sim.ml` drive them. The
+    experiment index lives in DESIGN.md; paper-vs-measured numbers in
+    EXPERIMENTS.md. The [scale] parameter multiplies the simulated
+    measurement window (1.0 ≈ a 2 s window; the paper used 120 s on real
+    hardware — steady-state in the simulator is reached much faster). *)
+
+type protocol = Poe | Pbft | Zyzzyva | Sbft | Hotstuff
+
+val all_protocols : protocol list
+val protocol_name : protocol -> string
+
+type point = {
+  protocol : string;
+  x : float;            (** swept parameter (n, batch size, delay ms, ...) *)
+  throughput : float;   (** transactions per second *)
+  latency : float;      (** average client latency, seconds *)
+  decisions : float;    (** consensus decisions per second *)
+  messages_per_decision : float;
+  bytes_per_decision : float;
+}
+
+type series = {
+  figure : string;      (** e.g. "fig9ab" *)
+  title : string;
+  x_label : string;
+  points : point list;
+}
+
+val print_series : Format.formatter -> series -> unit
+(** Aligned table, protocols × swept parameter. *)
+
+(** {1 The experiments} *)
+
+val fig1_message_census : ?scale:float -> unit -> series
+(** Fig. 1's table, measured: consensus messages per decision for each
+    protocol at n=16 with a good primary (the paper's analytic counts are
+    printed alongside by the bench driver). *)
+
+val fig7_upper_bound : ?scale:float -> unit -> series
+(** System characterization: no-consensus throughput/latency, without and
+    with execution. [x] is 0 (no exec) or 1 (exec). *)
+
+val fig8_signatures : ?scale:float -> unit -> series
+(** PBFT at n=16 under None / ED / CMAC signature schemes
+    ([x] = 0, 1, 2 respectively). *)
+
+type fig9_variant = Standard_failure | Standard_nofail | Zero_failure | Zero_nofail
+
+val fig9_scalability :
+  ?scale:float -> ?clients_per_hub:int -> ?ns:int list -> fig9_variant -> series
+(** Fig. 9(a-h): throughput and latency while scaling replicas, under
+    standard/zero payload × single-backup-failure/no-failure. *)
+
+val fig9_batching :
+  ?scale:float -> ?clients_per_hub:int -> ?batch_sizes:int list -> unit -> series
+(** Fig. 9(i,j): n=32, one crashed backup, batch size swept. *)
+
+val fig9_no_ooo : ?scale:float -> ?ns:int list -> unit -> series
+(** Fig. 9(k,l): out-of-order processing disabled (sequential window). *)
+
+val fig10_view_change :
+  ?scale:float -> ?clients_per_hub:int -> unit ->
+  (string * (float * float) list) list
+(** Fig. 10: throughput timeline (1 s buckets) for PoE and PBFT with the
+    primary crashing mid-run; returns [(protocol, (time, txn/s) list)]. *)
+
+val fig11_simulation : ?out_of_order:bool -> ?ns:int list ->
+  ?delays_ms:float list -> unit -> series
+(** Fig. 11: the paper's pure-message-delay simulation — 500 consensus
+    decisions, zero computational cost, fixed delay; [x] is the delay in
+    ms and [decisions] the metric of interest. With [out_of_order] the
+    last plot's variant (window 250) runs instead. *)

@@ -1,0 +1,22 @@
+(** The paper's system-characterization experiment (Fig. 7): the maximum
+    throughput of the fabric when there is {e no consensus at all} — clients
+    send requests to a single primary which answers directly, with two
+    worker lanes, optionally executing each query first. This bounds every
+    protocol's throughput from above and calibrates the cost model. *)
+
+type result = {
+  throughput : float;   (** requests answered per second *)
+  latency : float;      (** average client-observed seconds *)
+}
+
+val run :
+  ?cost:Poe_runtime.Cost.t ->
+  ?clients:int ->
+  ?warmup:float ->
+  ?measure:float ->
+  execute:bool ->
+  unit ->
+  result
+(** [execute] selects the paper's "exec." bar (the primary runs the query
+    before answering) versus "no exec.". Default 120k clients over 16
+    hubs. *)

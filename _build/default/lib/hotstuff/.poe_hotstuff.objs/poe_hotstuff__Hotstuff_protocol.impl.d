@@ -1,0 +1,1 @@
+lib/hotstuff/hotstuff_protocol.ml: Array Hashtbl List Poe_ledger Poe_runtime Printf Queue String

@@ -1,0 +1,1 @@
+lib/hotstuff/hotstuff_protocol.mli: Poe_runtime

@@ -1,0 +1,355 @@
+module R = Poe_runtime
+module Config = R.Config
+module Cost = R.Cost
+module Message = R.Message
+module Server = R.Server
+module Ctx = R.Replica_ctx
+module Exec = R.Exec_engine
+module Recovery = R.Recovery
+module Hub = R.Hub_core
+module Block = Poe_ledger.Block
+
+let name = "hotstuff"
+
+type Message.t +=
+  | Hs_proposal of { round : int; batch : Message.batch; qc_round : int }
+      (** leader of [round] → all; [qc_round] is certified by the carried
+          QC (round-1 in the happy path) *)
+  | Hs_vote of { round : int; digest : string }
+      (** replica → leader of [round+1]: a threshold signature share *)
+  | Hs_new_view of { round : int }
+      (** pacemaker: please lead [round], the previous one timed out *)
+
+type replica = {
+  ctx : Ctx.t;
+  mutable exec : Exec.t;
+  mutable recovery : Recovery.t;
+  (* Pending client requests (every replica sees every request: clients
+     broadcast in rotating-leader mode). *)
+  queue : Message.request Queue.t;
+  queued : (int, unit) Hashtbl.t;
+  in_chain : (int, unit) Hashtbl.t;
+      (* requests sitting in not-yet-committed blocks *)
+  blocks : (int, Message.batch) Hashtbl.t;  (* round -> block *)
+  skipped : (int, unit) Hashtbl.t;
+      (* rounds a later proposal's QC explicitly jumped over *)
+  votes : (int, (int, string) Hashtbl.t) Hashtbl.t;
+      (* as next leader: round -> voter -> digest *)
+  new_views : (int, (int, unit) Hashtbl.t) Hashtbl.t;
+  mutable round : int;          (* highest round with an accepted proposal *)
+  mutable qc_high : int;        (* highest round we hold a QC for *)
+  mutable proposed_for : int;   (* highest round this replica proposed *)
+  mutable committed_upto : int; (* offered to execution *)
+  mutable timeout_round : int;  (* round currently being waited for *)
+  mutable timer_generation : int;
+}
+
+let ctx t = t.ctx
+let current_view t = t.round
+let round_of t = t.round
+let k_exec t = Exec.k_exec t.exec
+let cfg t = Ctx.config t.ctx
+let costs t = Ctx.cost t.ctx
+let nf t = Config.nf (cfg t)
+let n t = (cfg t).Config.n
+let leader_of t round = round mod n t
+
+let block_digest (b : Message.batch) = b.Message.digest
+
+let empty_block round =
+  { Message.digest = Printf.sprintf "hs-empty-%d" round; reqs = [||] }
+
+(* Three-chain commit: a proposal carrying a QC for [qc_round] commits
+   every round at or below [qc_round - 2]. A round commits with its real
+   block if we hold it, or as an empty block if the chain explicitly
+   skipped it; a round we simply never received stalls commitment until
+   state transfer fills it (offering a guessed empty block there could
+   diverge from replicas that hold the real one). *)
+let commit_upto t upto =
+  let release_requests (batch : Message.batch) =
+    Array.iter
+      (fun req -> Hashtbl.remove t.in_chain (Message.request_key req))
+      batch.Message.reqs
+  in
+  let rec go r =
+    if r <= upto then
+      match Hashtbl.find_opt t.blocks r with
+      | Some batch when not (Hashtbl.mem t.skipped r) ->
+          release_requests batch;
+          Exec.offer t.exec ~seqno:r ~view:r ~batch
+            ~proof:(Block.Threshold_sig "hs-qc");
+          t.committed_upto <- r;
+          go (r + 1)
+      | maybe_block ->
+          if Hashtbl.mem t.skipped r then begin
+            (* Explicitly jumped over: commits as an empty block. If we do
+               hold a real block for it, the chain dropped it — free its
+               requests for re-proposal. *)
+            (match maybe_block with
+            | Some batch -> release_requests batch
+            | None -> ());
+            Exec.offer t.exec ~seqno:r ~view:r ~batch:(empty_block r)
+              ~proof:(Block.Threshold_sig "hs-skip");
+            t.committed_upto <- r;
+            go (r + 1)
+          end
+          (* else: unknown round — stall until Recovery fills the gap *)
+  in
+  go (t.committed_upto + 1)
+
+(* ------------------------------------------------------------------ *)
+(* Pacemaker                                                           *)
+
+let rec arm_timer t =
+  let expected = t.round + 1 in
+  t.timeout_round <- expected;
+  t.timer_generation <- t.timer_generation + 1;
+  let generation = t.timer_generation in
+  ignore
+    (Ctx.schedule t.ctx ~delay:(cfg t).Config.view_timeout (fun () ->
+         if generation = t.timer_generation && t.round < expected then begin
+           (* The round stalled: ask its leader (or, on repeat, the next
+              one) to take over with our NEW-VIEW. *)
+           Ctx.send_replica t.ctx ~dst:(leader_of t expected)
+             ~bytes:Message.Wire.vote
+             (Hs_new_view { round = expected });
+           arm_timer t
+         end))
+
+(* ------------------------------------------------------------------ *)
+(* Leading                                                             *)
+
+and next_batch t =
+  let cfg = cfg t in
+  let reqs = ref [] in
+  let count = ref 0 in
+  while !count < cfg.Config.batch_size && not (Queue.is_empty t.queue) do
+    let req = Queue.pop t.queue in
+    Hashtbl.remove t.queued (Message.request_key req);
+    if
+      (not (Exec.was_executed t.exec req))
+      && not (Hashtbl.mem t.in_chain (Message.request_key req))
+    then begin
+      reqs := req :: !reqs;
+      incr count
+    end
+  done;
+  List.rev !reqs
+
+and try_lead t ~round =
+  if
+    leader_of t round = Ctx.id t.ctx
+    && t.proposed_for < round
+    && t.qc_high >= round - 1
+    && round = t.round + 1
+  then begin
+    let reqs = next_batch t in
+    (* Propose even when idle if uncommitted blocks still need the chain
+       to grow (three-chain); otherwise wait for requests. *)
+    let has_uncommitted = t.committed_upto < t.round in
+    if reqs <> [] || has_uncommitted then begin
+      t.proposed_for <- round;
+      let batch =
+        if reqs = [] then empty_block round
+        else
+          Message.batch_of_requests
+            ~materialize:(cfg t).Config.materialize reqs
+      in
+      let c = costs t in
+      Ctx.work t.ctx Server.Worker
+        ~cost:(Cost.combine_cost c ~shares:(nf t))
+        (fun () ->
+          Ctx.broadcast_replicas t.ctx ~include_self:true
+            ~bytes:(Message.Wire.propose (cfg t))
+            (Hs_proposal { round; batch; qc_round = t.qc_high }))
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* The replica role                                                    *)
+
+and on_proposal t ~src ~round ~(batch : Message.batch) ~qc_round =
+  if src = leader_of t round && round > t.committed_upto then begin
+    (* Store the block even when the proposal arrives late (network
+       jitter) so commitment never waits on a block we already saw. *)
+    if not (Hashtbl.mem t.blocks round) then begin
+      Hashtbl.replace t.blocks round batch;
+      Array.iter
+        (fun req -> Hashtbl.replace t.in_chain (Message.request_key req) ())
+        batch.Message.reqs
+    end;
+    (* The carried QC certifies [qc_round]; rounds strictly between it and
+       this proposal were abandoned by the pacemaker. *)
+    for r = qc_round + 1 to round - 1 do
+      Hashtbl.replace t.skipped r ()
+    done;
+    t.qc_high <- max t.qc_high qc_round;
+    (* Three-chain: everything up to qc_round - 2 is now committed. *)
+    commit_upto t (qc_round - 2);
+    if round > t.round then begin
+      t.round <- round;
+      (* Vote to the next leader: a threshold share on the block. *)
+      let c = costs t in
+      Ctx.work t.ctx Server.Worker
+        ~cost:
+          (Cost.hash_cost c ~bytes:(Message.Wire.propose (cfg t))
+          +. c.Cost.ts_share_sign)
+        (fun () ->
+          Ctx.send_replica t.ctx
+            ~dst:(leader_of t (round + 1))
+            ~bytes:Message.Wire.vote
+            (Hs_vote { round; digest = block_digest batch }));
+      arm_timer t
+    end
+  end
+
+and on_vote t ~src ~round ~digest =
+  if leader_of t (round + 1) = Ctx.id t.ctx then begin
+    let bucket =
+      match Hashtbl.find_opt t.votes round with
+      | Some h -> h
+      | None ->
+          let h = Hashtbl.create 8 in
+          Hashtbl.replace t.votes round h;
+          h
+    in
+    if not (Hashtbl.mem bucket src) then begin
+      Hashtbl.replace bucket src digest;
+      let c = costs t in
+      Ctx.work t.ctx Server.Worker ~cost:c.Cost.ts_share_verify (fun () ->
+          let matching =
+            Hashtbl.fold
+              (fun _ d acc -> if String.equal d digest then acc + 1 else acc)
+              bucket 0
+          in
+          if matching >= nf t && t.qc_high < round then begin
+            t.qc_high <- round;
+            try_lead t ~round:(round + 1)
+          end)
+    end
+  end
+
+and on_new_view t ~src ~round =
+  let bucket =
+    match Hashtbl.find_opt t.new_views round with
+    | Some h -> h
+    | None ->
+        let h = Hashtbl.create 8 in
+        Hashtbl.replace t.new_views round h;
+        h
+  in
+  Hashtbl.replace bucket src ();
+  if
+    leader_of t round = Ctx.id t.ctx
+    && Hashtbl.length bucket >= nf t
+    && t.proposed_for < round
+  then begin
+    (* Lead the round even though its predecessor stalled: extend our
+       highest QC; the gap rounds will commit as empty blocks. *)
+    t.round <- max t.round (round - 1);
+    let reqs = next_batch t in
+    t.proposed_for <- round;
+    let batch =
+      if reqs = [] then empty_block round
+      else
+        Message.batch_of_requests ~materialize:(cfg t).Config.materialize reqs
+    in
+    Ctx.broadcast_replicas t.ctx ~include_self:true
+      ~bytes:(Message.Wire.propose (cfg t))
+      (Hs_proposal { round; batch; qc_round = t.qc_high })
+  end
+
+let on_client_request t (req : Message.request) =
+  let key = Message.request_key req in
+  if
+    (not (Exec.was_executed t.exec req))
+    && (not (Hashtbl.mem t.in_chain key))
+    && not (Hashtbl.mem t.queued key)
+  then begin
+    Hashtbl.replace t.queued key ();
+    Queue.push req t.queue;
+    (* An idle chain restarts as soon as work arrives. *)
+    try_lead t ~round:(t.round + 1)
+  end
+
+let on_executed t ~seqno ~batch = Recovery.note_executed t.recovery ~seqno ~batch
+
+let create_replica ctx =
+  let placeholder_exec = Exec.create ~ctx () in
+  let t =
+    {
+      ctx;
+      exec = placeholder_exec;
+      recovery =
+        Recovery.create ~ctx ~exec:placeholder_exec
+          ~primary:(fun () -> 0)
+          ~active:(fun () -> false)
+          ~on_suspect:(fun () -> ())
+          ();
+      queue = Queue.create ();
+      queued = Hashtbl.create 4096;
+      in_chain = Hashtbl.create 1024;
+      blocks = Hashtbl.create 1024;
+      skipped = Hashtbl.create 64;
+      votes = Hashtbl.create 64;
+      new_views = Hashtbl.create 16;
+      round = -1;
+      qc_high = -1;
+      proposed_for = -1;
+      committed_upto = -1;
+      timeout_round = 0;
+      timer_generation = 0;
+    }
+  in
+  t.exec <-
+    Exec.create ~ctx
+      ~on_executed:(fun ~seqno ~batch ~result:_ -> on_executed t ~seqno ~batch)
+      ();
+  t.recovery <-
+    Recovery.create ~ctx ~exec:t.exec
+      ~primary:(fun () -> leader_of t (t.round + 1))
+      ~active:(fun () -> true)
+      (* The pacemaker, not a view change, provides liveness. *)
+      ~on_suspect:(fun () -> ())
+      ();
+  t
+
+let start_replica t =
+  Recovery.start t.recovery;
+  (* Replica 0 bootstraps round 0 once requests arrive; votes carry the
+     chain from there. *)
+  if Ctx.id t.ctx = 0 then begin
+    t.qc_high <- -1;
+    try_lead t ~round:0
+  end;
+  arm_timer t
+
+let on_message t ~src msg =
+  if Ctx.alive t.ctx && not (Recovery.on_message t.recovery ~src msg) then
+    match msg with
+    | Message.Client_request req -> on_client_request t req
+    | Message.Client_request_bundle reqs -> List.iter (on_client_request t) reqs
+    | Message.Client_forward req -> on_client_request t req
+    | Hs_proposal { round; batch; qc_round } ->
+        on_proposal t ~src ~round ~batch ~qc_round
+    | Hs_vote { round; digest } -> on_vote t ~src ~round ~digest
+    | Hs_new_view { round } -> on_new_view t ~src ~round
+    | _ -> ()
+
+let receive_cost ~src config cost msg =
+  match R.Protocol_intf.client_receive_cost ~src config cost msg with
+  | Some c -> c
+  | None -> (
+      let base = cost.Cost.msg_in in
+      match msg with
+      | Hs_proposal _ -> base +. cost.Cost.ts_verify
+      | Hs_vote _ | Hs_new_view _ -> base +. cost.Cost.mac_verify
+      | _ -> base)
+
+let hub_hooks config =
+  {
+    Hub.quorum = Config.f config + 1;
+    send_mode = Hub.To_all;
+    on_timeout = None;
+    on_message = None;
+  }

@@ -1,0 +1,23 @@
+(** Chained HotStuff baseline (Yin et al.): linear communication and a
+    rotating leader, at the price of sequential consensus.
+
+    In round r the replica [r mod n] leads: it proposes a block (carrying
+    the quorum certificate for round r-1), every replica sends its vote —
+    a threshold signature share — to the {e next} leader, which aggregates
+    nf shares into the QC that lets it propose round r+1. A block commits
+    on the three-chain rule; chaining pipelines four requests, but each
+    leader still waits for a quorum before proposing, so out-of-order
+    processing is impossible (§IV-A) — the property behind HotStuff's low
+    throughput in the paper's experiments.
+
+    A pacemaker advances past crashed leaders: when a round times out,
+    replicas send NEW-VIEW for the next round to its leader, and skipped
+    rounds commit as empty blocks. We implement the happy path plus the
+    pacemaker; the full locked-QC safety argument under byzantine leaders
+    is out of scope for the paper's experiments (all HotStuff runs are
+    crash-only) and documented as such. *)
+
+include Poe_runtime.Protocol_intf.S
+
+val round_of : replica -> int
+val k_exec : replica -> int

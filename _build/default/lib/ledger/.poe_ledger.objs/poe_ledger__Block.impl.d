@@ -1,0 +1,1 @@
+lib/ledger/block.ml: Format List Poe_crypto Printf String

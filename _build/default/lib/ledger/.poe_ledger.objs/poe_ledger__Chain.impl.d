@@ -1,0 +1,1 @@
+lib/ledger/chain.ml: Block List Printf Result String

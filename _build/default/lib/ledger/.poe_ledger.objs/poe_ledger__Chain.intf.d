@@ -1,0 +1,1 @@
+lib/ledger/chain.mli: Block

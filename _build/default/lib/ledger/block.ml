@@ -1,0 +1,53 @@
+module Sha256 = Poe_crypto.Sha256
+
+type proof =
+  | No_proof
+  | Threshold_sig of string
+  | Vote_certificate of int list
+
+type t = {
+  height : int;
+  seqno : int;
+  view : int;
+  batch_digest : string;
+  prev_hash : string;
+  proof : proof;
+}
+
+let encode_proof = function
+  | No_proof -> "none"
+  | Threshold_sig s -> "ts:" ^ Sha256.to_hex s
+  | Vote_certificate ids ->
+      "cert:" ^ String.concat "," (List.map string_of_int ids)
+
+let encode b =
+  Printf.sprintf "h=%d|k=%d|v=%d|d=%s|p=%s|proof=%s" b.height b.seqno b.view
+    (Sha256.to_hex b.batch_digest)
+    (Sha256.to_hex b.prev_hash)
+    (encode_proof b.proof)
+
+let hash b = Sha256.digest (encode b)
+
+let genesis ~initial_primary =
+  {
+    height = 0;
+    seqno = -1;
+    view = 0;
+    batch_digest = Sha256.digest (Printf.sprintf "genesis|primary=%d" initial_primary);
+    prev_hash = String.make 32 '\000';
+    proof = No_proof;
+  }
+
+let make ~prev ~seqno ~view ~batch_digest ~proof =
+  {
+    height = prev.height + 1;
+    seqno;
+    view;
+    batch_digest;
+    prev_hash = hash prev;
+    proof;
+  }
+
+let pp fmt b =
+  Format.fprintf fmt "block[h=%d k=%d v=%d d=%s..]" b.height b.seqno b.view
+    (String.sub (Sha256.to_hex b.batch_digest) 0 8)

@@ -1,0 +1,60 @@
+type t = { mutable rev_blocks : Block.t list (* head first *) }
+
+let create ~initial_primary = { rev_blocks = [ Block.genesis ~initial_primary ] }
+
+let head t =
+  match t.rev_blocks with
+  | [] -> assert false (* a chain always has its genesis *)
+  | b :: _ -> b
+
+let append t ~seqno ~view ~batch_digest ~proof =
+  let block = Block.make ~prev:(head t) ~seqno ~view ~batch_digest ~proof in
+  t.rev_blocks <- block :: t.rev_blocks;
+  block
+
+let length t = List.length t.rev_blocks
+
+let nth t height =
+  List.find_opt (fun (b : Block.t) -> b.height = height) t.rev_blocks
+
+let rollback_to_height t height =
+  let current = (head t).height in
+  if height < 0 || height > current then
+    invalid_arg "Chain.rollback_to_height";
+  let dropped = current - height in
+  let rec drop n l = if n = 0 then l else
+    match l with [] -> assert false | _ :: rest -> drop (n - 1) rest
+  in
+  t.rev_blocks <- drop dropped t.rev_blocks;
+  dropped
+
+let verify t =
+  let rec go = function
+    | [] | [ _ ] -> Ok ()
+    | (b : Block.t) :: (prev :: _ as rest) ->
+        if not (String.equal b.prev_hash (Block.hash prev)) then
+          Error
+            (Printf.sprintf "broken hash link at height %d" b.height)
+        else if b.height <> prev.height + 1 then
+          Error (Printf.sprintf "height gap at height %d" b.height)
+        else go rest
+  in
+  go t.rev_blocks
+
+let blocks t = List.rev t.rev_blocks
+
+let find_by_seqno t seqno =
+  List.find_opt (fun (b : Block.t) -> b.seqno = seqno) t.rev_blocks
+
+let of_blocks blocks =
+  match blocks with
+  | [] -> Error "empty block list"
+  | genesis :: _ when genesis.Block.height <> 0 -> Error "missing genesis"
+  | _ ->
+      let t = { rev_blocks = List.rev blocks } in
+      Result.map (fun () -> t) (verify t)
+
+let install t blocks =
+  Result.map
+    (fun (fresh : t) -> t.rev_blocks <- fresh.rev_blocks)
+    (of_blocks blocks)

@@ -1,0 +1,45 @@
+(** An append-only, hash-linked chain of {!Block}s — each replica's local
+    copy of the immutable ledger.
+
+    The execute-thread appends a block per executed batch (§III-A). Chains
+    support truncation-free rollback *only* above the last checkpoint: PoE
+    may revert speculatively executed batches during a view-change, which
+    shortens the chain correspondingly. *)
+
+type t
+
+val create : initial_primary:int -> t
+(** A chain holding only the genesis block. *)
+
+val append :
+  t -> seqno:int -> view:int -> batch_digest:string -> proof:Block.proof ->
+  Block.t
+(** Build, link, and append the next block; returns it. *)
+
+val head : t -> Block.t
+val length : t -> int
+(** Number of blocks including genesis. *)
+
+val nth : t -> int -> Block.t option
+(** Block at a given height. *)
+
+val rollback_to_height : t -> int -> int
+(** Drop blocks above the given height; returns how many were dropped.
+    @raise Invalid_argument when the height is below 0 or above the head. *)
+
+val verify : t -> (unit, string) result
+(** Walk the chain checking every hash link; [Error] pinpoints the first
+    broken link. *)
+
+val blocks : t -> Block.t list
+(** Genesis first. *)
+
+val find_by_seqno : t -> int -> Block.t option
+
+val of_blocks : Block.t list -> (t, string) result
+(** Rebuild a chain from transferred blocks (genesis first); verifies the
+    hash links. Used when installing a checkpoint snapshot. *)
+
+val install : t -> Block.t list -> (unit, string) result
+(** Replace this chain's contents with the transferred blocks (verified
+    first); the in-place variant of {!of_blocks}. *)

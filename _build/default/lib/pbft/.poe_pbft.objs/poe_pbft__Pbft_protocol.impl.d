@@ -1,0 +1,1 @@
+lib/pbft/pbft_protocol.ml: Hashtbl List Poe_ledger Poe_runtime Printf String

@@ -1,0 +1,1 @@
+lib/pbft/pbft_protocol.mli: Poe_runtime

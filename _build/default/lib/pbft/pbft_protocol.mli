@@ -1,0 +1,19 @@
+(** PBFT baseline (Castro & Liskov), as implemented in the paper's
+    evaluation: BFTSmart-style with ResilientDB's pipelining,
+    multi-threading and batching.
+
+    Normal case: PRE-PREPARE from the primary, then two all-to-all
+    quadratic phases (PREPARE, COMMIT), all MAC-authenticated; execution
+    after the commit quorum — non-speculative, so view-changes never roll
+    back. Clients need only f+1 matching responses. The signature scheme
+    for replica messages follows [config.replica_scheme] so Fig. 8's
+    None/ED/CMAC sweep can be reproduced. *)
+
+include Poe_runtime.Protocol_intf.S
+
+(** {1 Introspection} *)
+
+val view_of : replica -> int
+val k_exec : replica -> int
+val in_view_change : replica -> bool
+val force_suspect : replica -> unit

@@ -1,0 +1,1 @@
+lib/poe/poe_msg.ml: Poe_crypto Poe_runtime Printf

@@ -1,0 +1,1 @@
+lib/poe/poe_msg.mli: Poe_crypto Poe_runtime

@@ -1,0 +1,1 @@
+lib/poe/poe_protocol.ml: Hashtbl List Poe_crypto Poe_ledger Poe_msg Poe_runtime String

@@ -1,0 +1,1 @@
+lib/poe/poe_protocol.mli: Poe_runtime

@@ -1,0 +1,1 @@
+lib/runtime/exec_engine.ml: Array Config Cost Hashtbl List Message Option Poe_ledger Replica_ctx Server Stats

@@ -1,0 +1,1 @@
+lib/runtime/exec_engine.mli: Message Poe_ledger Replica_ctx

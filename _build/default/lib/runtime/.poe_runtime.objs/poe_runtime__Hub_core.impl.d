@@ -1,0 +1,1 @@
+lib/runtime/hub_core.ml: Array Config Float Hashtbl List Message Poe_simnet Poe_store Stats String

@@ -1,0 +1,1 @@
+lib/runtime/hub_core.mli: Config Message Poe_simnet Poe_store Stats

@@ -1,0 +1,1 @@
+lib/runtime/message.ml: Array Config List Poe_crypto Poe_ledger Poe_store Printf String

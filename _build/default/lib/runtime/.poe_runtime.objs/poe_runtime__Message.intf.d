@@ -1,0 +1,1 @@
+lib/runtime/message.mli: Config Poe_ledger Poe_store

@@ -1,0 +1,1 @@
+lib/runtime/pipeline.ml: Config Cost Hashtbl List Message Poe_simnet Queue Replica_ctx Server

@@ -1,0 +1,1 @@
+lib/runtime/protocol_intf.ml: Config Cost Hub_core List Message Replica_ctx

@@ -1,0 +1,1 @@
+lib/runtime/recovery.ml: Array Config Exec_engine Hashtbl List Message Poe_ledger Replica_ctx String

@@ -1,0 +1,1 @@
+lib/runtime/recovery.mli: Exec_engine Message Replica_ctx

@@ -1,0 +1,1 @@
+lib/runtime/replica_ctx.ml: Array Config Cost Format List Message Poe_crypto Poe_ledger Poe_simnet Poe_store Server Stats

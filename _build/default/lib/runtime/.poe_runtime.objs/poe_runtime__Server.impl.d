@@ -1,0 +1,1 @@
+lib/runtime/server.ml: Array Float Poe_simnet

@@ -1,0 +1,1 @@
+lib/runtime/server.mli: Poe_simnet

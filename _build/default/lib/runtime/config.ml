@@ -1,0 +1,71 @@
+type auth_scheme = Auth_none | Auth_mac | Auth_digital | Auth_threshold
+
+type payload = Standard | Zero
+
+type t = {
+  n : int;
+  batch_size : int;
+  payload : payload;
+  replica_scheme : auth_scheme;
+  client_scheme : auth_scheme;
+  out_of_order : bool;
+  window : int;
+  checkpoint_period : int;
+  request_timeout : float;
+  view_timeout : float;
+  batch_delay : float;
+  client_bundle_delay : float;
+  n_hubs : int;
+  clients_per_hub : int;
+  materialize : bool;
+  seed : int;
+}
+
+let make ?(batch_size = 100) ?(payload = Standard) ?(replica_scheme = Auth_mac)
+    ?(client_scheme = Auth_digital) ?(out_of_order = true) ?(window = 1024)
+    ?(checkpoint_period = 64) ?(request_timeout = 3.0) ?(view_timeout = 0.5)
+    ?(batch_delay = 0.002) ?(client_bundle_delay = 0.0005) ?(n_hubs = 16)
+    ?(clients_per_hub = 1000)
+    ?(materialize = false) ?(seed = 1) ~n () =
+  if n < 4 then invalid_arg "Config.make: need n >= 4 for BFT";
+  if batch_size < 1 then invalid_arg "Config.make: batch_size >= 1";
+  if n_hubs < 1 || clients_per_hub < 1 then
+    invalid_arg "Config.make: need at least one client";
+  {
+    n;
+    batch_size;
+    payload;
+    replica_scheme;
+    client_scheme;
+    out_of_order;
+    window = (if out_of_order then max 1 window else 1);
+    checkpoint_period;
+    request_timeout;
+    view_timeout;
+    batch_delay;
+    client_bundle_delay;
+    n_hubs;
+    clients_per_hub;
+    materialize;
+    seed;
+  }
+
+let f t = (t.n - 1) / 3
+let nf t = t.n - f t
+
+let total_clients t = t.n_hubs * t.clients_per_hub
+
+let primary_of_view t view = view mod t.n
+
+let pp_auth_scheme fmt = function
+  | Auth_none -> Format.fprintf fmt "none"
+  | Auth_mac -> Format.fprintf fmt "mac"
+  | Auth_digital -> Format.fprintf fmt "digital"
+  | Auth_threshold -> Format.fprintf fmt "threshold"
+
+let pp fmt t =
+  Format.fprintf fmt
+    "config[n=%d f=%d batch=%d payload=%s scheme=%a ooo=%b clients=%d]" t.n
+    (f t) t.batch_size
+    (match t.payload with Standard -> "std" | Zero -> "zero")
+    pp_auth_scheme t.replica_scheme t.out_of_order (total_clients t)

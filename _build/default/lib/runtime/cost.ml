@@ -1,0 +1,78 @@
+type t = {
+  mac_sign : float;
+  mac_verify : float;
+  ds_sign : float;
+  ds_verify : float;
+  ts_share_sign : float;
+  ts_share_verify : float;
+  ts_combine_base : float;
+  ts_combine_per_share : float;
+  ts_verify : float;
+  hash_base : float;
+  hash_per_byte : float;
+  exec_per_txn : float;
+  msg_in : float;
+  msg_out : float;
+  msg_per_byte : float;
+  batch_per_req : float;
+}
+
+(* Calibrated against the paper's system-characterization experiments
+   (Fig. 7: ~500 ktxn/s upper bound with two lanes; Fig. 8: None > CMAC >>
+   ED for PBFT at n=16). See EXPERIMENTS.md for the calibration runs. *)
+let default =
+  {
+    mac_sign = 0.5e-6;
+    mac_verify = 0.5e-6;
+    ds_sign = 20e-6;
+    ds_verify = 55e-6;
+    ts_share_sign = 25e-6;
+    ts_share_verify = 10e-6;
+    ts_combine_base = 30e-6;
+    ts_combine_per_share = 1.5e-6;
+    ts_verify = 15e-6;
+    hash_base = 0.3e-6;
+    hash_per_byte = 2e-9;
+    exec_per_txn = 2.5e-6;
+    msg_in = 2.0e-6;
+    msg_out = 1.2e-6;
+    msg_per_byte = 1.5e-9;
+    batch_per_req = 0.7e-6;
+  }
+
+let zero =
+  {
+    mac_sign = 0.0;
+    mac_verify = 0.0;
+    ds_sign = 0.0;
+    ds_verify = 0.0;
+    ts_share_sign = 0.0;
+    ts_share_verify = 0.0;
+    ts_combine_base = 0.0;
+    ts_combine_per_share = 0.0;
+    ts_verify = 0.0;
+    hash_base = 0.0;
+    hash_per_byte = 0.0;
+    exec_per_txn = 0.0;
+    msg_in = 0.0;
+    msg_out = 0.0;
+    msg_per_byte = 0.0;
+    batch_per_req = 0.0;
+  }
+
+let auth_sign t = function
+  | Config.Auth_none -> 0.0
+  | Config.Auth_mac -> t.mac_sign
+  | Config.Auth_digital -> t.ds_sign
+  | Config.Auth_threshold -> t.ts_share_sign
+
+let auth_verify t = function
+  | Config.Auth_none -> 0.0
+  | Config.Auth_mac -> t.mac_verify
+  | Config.Auth_digital -> t.ds_verify
+  | Config.Auth_threshold -> t.ts_share_verify
+
+let hash_cost t ~bytes = t.hash_base +. (float_of_int bytes *. t.hash_per_byte)
+
+let combine_cost t ~shares =
+  t.ts_combine_base +. (float_of_int shares *. t.ts_combine_per_share)

@@ -1,0 +1,49 @@
+(** CPU and wire-size cost model.
+
+    The simulator charges each protocol step the CPU time and message bytes
+    it would cost on the paper's testbed (16-core c2 VMs). The constants
+    are calibrated so the paper's system-characterization experiments
+    (Fig. 7 and Fig. 8) land near the reported magnitudes; all other
+    experiments then inherit them unchanged. The paper's §IV-I simulation
+    instead uses {!zero}, where only message delay matters. *)
+
+type t = {
+  mac_sign : float;          (** seconds to MAC a message (CMAC+AES) *)
+  mac_verify : float;
+  ds_sign : float;           (** digital signature (ED25519) *)
+  ds_verify : float;
+  ts_share_sign : float;     (** produce a threshold signature share *)
+  ts_share_verify : float;   (** check one share *)
+  ts_combine_base : float;   (** combine shares: base ... *)
+  ts_combine_per_share : float;  (** ... plus this per share *)
+  ts_verify : float;         (** verify a combined signature *)
+  hash_base : float;
+  hash_per_byte : float;
+  exec_per_txn : float;      (** execute one transaction (YCSB row touch) *)
+  msg_in : float;            (** input-thread overhead per received message *)
+  msg_out : float;           (** output-thread overhead per sent message *)
+  msg_per_byte : float;
+      (** i/o-thread time per payload byte (copy + serialize); this is what
+          makes large PROPOSE messages throttle the primary and what the
+          zero-payload experiments remove *)
+  batch_per_req : float;     (** batch-thread time per enqueued request *)
+}
+
+val default : t
+(** Calibrated against Fig. 7/Fig. 8 (see EXPERIMENTS.md). *)
+
+val zero : t
+(** All-zero costs: performance is pure message-delay (§IV-I). *)
+
+(** {1 Scheme-dependent authentication costs}
+
+    Fig. 8 varies the signature scheme; these helpers map a
+    {!Config.auth_scheme} to sign/verify costs so protocol code stays
+    scheme-agnostic (paper ingredient I3). *)
+
+val auth_sign : t -> Config.auth_scheme -> float
+val auth_verify : t -> Config.auth_scheme -> float
+
+val hash_cost : t -> bytes:int -> float
+
+val combine_cost : t -> shares:int -> float

@@ -1,0 +1,245 @@
+module Engine = Poe_simnet.Engine
+module Network = Poe_simnet.Network
+module Rng = Poe_simnet.Rng
+module Ycsb = Poe_store.Ycsb
+
+type request_state = {
+  req : Message.request;
+  mutable responses : (int * (int * int * string)) list;
+  mutable first_sent : float;
+  mutable retries : int;
+}
+
+type send_mode = To_primary | To_all
+
+type hooks = {
+  quorum : int;
+  send_mode : send_mode;
+  on_timeout : (t -> request_state -> unit) option;
+  on_message : (t -> src:int -> Message.t -> bool) option;
+}
+
+and t = {
+  hub : int;
+  config : Config.t;
+  engine : Engine.t;
+  net : Message.t Network.t;
+  stats : Stats.t;
+  rng : Rng.t;
+  workload : Ycsb.t option;
+  hooks : hooks;
+  outstanding : (int * int, request_state) Hashtbl.t; (* (client, rid) *)
+  next_rid : int array;
+  mutable believed_view : int;
+  mutable out_buffer : Message.request list; (* newest first *)
+  mutable out_count : int;
+  mutable flush_scheduled : bool;
+  mutable forward_buffer : Message.request list;
+  mutable forward_scheduled : bool;
+  mutable completed : int;
+  mutable paused : bool;
+}
+
+let create ~hub ~config ~engine ~net ~stats ~rng ~workload ~hooks () =
+  {
+    hub;
+    config;
+    engine;
+    net;
+    stats;
+    rng;
+    workload;
+    hooks;
+    outstanding = Hashtbl.create (4 * config.Config.clients_per_hub);
+    next_rid = Array.make config.Config.clients_per_hub 0;
+    believed_view = 0;
+    out_buffer = [];
+    out_count = 0;
+    flush_scheduled = false;
+    forward_buffer = [];
+    forward_scheduled = false;
+    completed = 0;
+    paused = false;
+  }
+
+let hub_index t = t.hub
+let node_id t = t.config.Config.n + t.hub
+let believed_view t = t.believed_view
+let outstanding t = Hashtbl.length t.outstanding
+let completed t = t.completed
+let config t = t.config
+let now t = Engine.now t.engine
+
+let send_to_replica t ~dst ~bytes msg =
+  Network.send t.net ~src:(node_id t) ~dst ~bytes msg
+
+let broadcast_replicas t ~bytes msg =
+  for dst = 0 to t.config.Config.n - 1 do
+    send_to_replica t ~dst ~bytes msg
+  done
+
+let primary t = Config.primary_of_view t.config t.believed_view
+
+let flush t =
+  t.flush_scheduled <- false;
+  if t.out_count > 0 then begin
+    let reqs = List.rev t.out_buffer in
+    let bytes = t.out_count * Message.Wire.request t.config in
+    t.out_buffer <- [];
+    t.out_count <- 0;
+    match t.hooks.send_mode with
+    | To_primary ->
+        send_to_replica t ~dst:(primary t) ~bytes
+          (Message.Client_request_bundle reqs)
+    | To_all ->
+        broadcast_replicas t ~bytes (Message.Client_request_bundle reqs)
+  end
+
+let ensure_flush t =
+  if not t.flush_scheduled then begin
+    t.flush_scheduled <- true;
+    ignore
+      (Engine.schedule t.engine ~delay:t.config.Config.client_bundle_delay
+         (fun () -> flush t))
+  end
+
+let submit_next t client =
+  if not t.paused then begin
+    let rid = t.next_rid.(client) in
+    t.next_rid.(client) <- rid + 1;
+    let op =
+      match t.workload with
+      | Some w -> Some (Ycsb.generate w t.rng)
+      | None -> None
+    in
+    let req =
+      {
+        Message.hub = t.hub;
+        client;
+        rid;
+        op;
+        submitted = Engine.now t.engine;
+      }
+    in
+    let rs =
+      { req; responses = []; first_sent = Engine.now t.engine; retries = 0 }
+    in
+    Hashtbl.replace t.outstanding (client, rid) rs;
+    t.out_buffer <- req :: t.out_buffer;
+    t.out_count <- t.out_count + 1;
+    ensure_flush t
+  end
+
+let complete t rs =
+  let key = (rs.req.Message.client, rs.req.Message.rid) in
+  if Hashtbl.mem t.outstanding key then begin
+    Hashtbl.remove t.outstanding key;
+    t.completed <- t.completed + 1;
+    Stats.record_completion t.stats ~now:(Engine.now t.engine)
+      ~submitted:rs.req.Message.submitted ~count:1;
+    submit_next t rs.req.Message.client
+  end
+
+(* Responses lists are at most n long, so quorum counting scans them
+   directly — this runs once per delivered response, so it must not
+   allocate. *)
+let count_matching rs ~seqno ~digest =
+  List.fold_left
+    (fun acc (_, (_, s, d)) ->
+      if s = seqno && String.equal d digest then acc + 1 else acc)
+    0 rs.responses
+
+let matching_responses rs =
+  List.fold_left
+    (fun ((best_count, _) as best) (_, ((_, seqno, digest) as witness)) ->
+      let count = count_matching rs ~seqno ~digest in
+      if count > best_count then (count, Some witness) else best)
+    (0, None) rs.responses
+
+(* Timed-out requests are re-broadcast to every replica as CLIENT-FORWARD;
+   non-faulty replicas relay them to the primary and start suspecting it
+   (Fig. 3 discussion). Forwards are coalesced like fresh requests. *)
+let flush_forwards t =
+  t.forward_scheduled <- false;
+  match t.forward_buffer with
+  | [] -> ()
+  | reqs ->
+      t.forward_buffer <- [];
+      let bytes = Message.Wire.request t.config in
+      List.iter
+        (fun req -> broadcast_replicas t ~bytes (Message.Client_forward req))
+        reqs
+
+let forward_to_all t rs =
+  t.forward_buffer <- rs.req :: t.forward_buffer;
+  if not t.forward_scheduled then begin
+    t.forward_scheduled <- true;
+    ignore
+      (Engine.schedule t.engine ~delay:t.config.Config.client_bundle_delay
+         (fun () -> flush_forwards t))
+  end
+
+let handle_timeout t rs =
+  rs.retries <- rs.retries + 1;
+  match t.hooks.on_timeout with
+  | Some f -> f t rs
+  | None -> forward_to_all t rs
+
+let sweep_interval t = Float.max 0.05 (t.config.Config.request_timeout /. 6.0)
+
+let rec timeout_sweep t =
+  let now = Engine.now t.engine in
+  let expired = ref [] in
+  Hashtbl.iter
+    (fun _ rs ->
+      let deadline =
+        rs.first_sent
+        +. (t.config.Config.request_timeout
+           *. float_of_int (1 lsl min rs.retries 6))
+      in
+      if now >= deadline then expired := rs :: !expired)
+    t.outstanding;
+  List.iter (fun rs -> handle_timeout t rs) !expired;
+  if not t.paused then
+    ignore
+      (Engine.schedule t.engine ~delay:(sweep_interval t) (fun () ->
+           timeout_sweep t))
+
+let start t =
+  for client = 0 to t.config.Config.clients_per_hub - 1 do
+    (* Stagger initial submissions over a few milliseconds so the first
+       batch wave is not one giant synchronized burst. *)
+    let jitter = Rng.float t.rng 0.005 in
+    ignore (Engine.schedule t.engine ~delay:jitter (fun () -> submit_next t client))
+  done;
+  ignore
+    (Engine.schedule t.engine ~delay:(sweep_interval t) (fun () ->
+         timeout_sweep t))
+
+let handle_response t ~view ~seqno ~replica ~result_digest acks =
+  if view > t.believed_view then t.believed_view <- view;
+  List.iter
+    (fun (client, rid) ->
+      match Hashtbl.find_opt t.outstanding (client, rid) with
+      | None -> () (* already completed or unknown *)
+      | Some rs ->
+          if not (List.mem_assoc replica rs.responses) then begin
+            rs.responses <- (replica, (view, seqno, result_digest)) :: rs.responses;
+            if count_matching rs ~seqno ~digest:result_digest >= t.hooks.quorum
+            then complete t rs
+          end)
+    acks
+
+let on_network_message t ~src msg =
+  let consumed =
+    match t.hooks.on_message with
+    | Some f -> f t ~src msg
+    | None -> false
+  in
+  if not consumed then
+    match msg with
+    | Message.Exec_response { view; seqno; replica; result_digest; acks; _ } ->
+        handle_response t ~view ~seqno ~replica ~result_digest acks
+    | _ -> ()
+
+let pause t = t.paused <- true

@@ -1,0 +1,100 @@
+type t = {
+  ctx : Replica_ctx.t;
+  on_batch : Message.batch -> unit;
+  queue : Message.request Queue.t;
+  seen : (int, unit) Hashtbl.t; (* request keys ever enqueued *)
+  mutable in_flight : int;
+  mutable batch_timer : Poe_simnet.Engine.timer option;
+}
+
+let create ~ctx ~on_batch () =
+  {
+    ctx;
+    on_batch;
+    queue = Queue.create ();
+    seen = Hashtbl.create 4096;
+    in_flight = 0;
+    batch_timer = None;
+  }
+
+let in_flight t = t.in_flight
+let queued t = Queue.length t.queue
+
+let already_proposed t req = Hashtbl.mem t.seen (Message.request_key req)
+
+let config t = Replica_ctx.config t.ctx
+
+(* Close a batch of up to batch_size requests and hand it to the protocol
+   after charging the batch-thread CPU (per-request work plus the digest). *)
+let close_batch t =
+  let cfg = config t in
+  let size = min cfg.Config.batch_size (Queue.length t.queue) in
+  if size > 0 then begin
+    let reqs = List.init size (fun _ -> Queue.pop t.queue) in
+    let cost = Replica_ctx.cost t.ctx in
+    let cpu =
+      (float_of_int size *. cost.Cost.batch_per_req)
+      +. Cost.hash_cost cost ~bytes:(size * Message.Wire.per_txn)
+    in
+    Replica_ctx.work t.ctx Server.Batcher ~cost:cpu (fun () ->
+        let batch =
+          Message.batch_of_requests ~materialize:cfg.Config.materialize reqs
+        in
+        t.on_batch batch)
+  end
+
+let cancel_timer t =
+  match t.batch_timer with
+  | Some timer ->
+      Poe_simnet.Engine.cancel timer;
+      t.batch_timer <- None
+  | None -> ()
+
+let rec try_dispatch t =
+  let cfg = config t in
+  if t.in_flight < cfg.Config.window && not (Queue.is_empty t.queue) then
+    if Queue.length t.queue >= cfg.Config.batch_size then begin
+      cancel_timer t;
+      t.in_flight <- t.in_flight + 1;
+      close_batch t;
+      try_dispatch t
+    end
+    else if t.batch_timer = None then
+      (* Partial batch: wait batch_delay for more requests before closing. *)
+      t.batch_timer <-
+        Some
+          (Replica_ctx.schedule t.ctx ~delay:cfg.Config.batch_delay (fun () ->
+               t.batch_timer <- None;
+               if t.in_flight < cfg.Config.window
+                  && not (Queue.is_empty t.queue)
+               then begin
+                 t.in_flight <- t.in_flight + 1;
+                 close_batch t;
+                 try_dispatch t
+               end))
+
+let add_request t req =
+  let key = Message.request_key req in
+  if not (Hashtbl.mem t.seen key) then begin
+    Hashtbl.replace t.seen key ();
+    Queue.push req t.queue;
+    try_dispatch t
+  end
+
+let seqno_opened t = t.in_flight <- t.in_flight + 1
+
+let reset_window t =
+  t.in_flight <- 0;
+  try_dispatch t
+
+let seqno_closed t =
+  if t.in_flight > 0 then t.in_flight <- t.in_flight - 1;
+  try_dispatch t
+
+let drain_pending t =
+  cancel_timer t;
+  let reqs = List.of_seq (Queue.to_seq t.queue) in
+  Queue.clear t.queue;
+  (* Keep the keys in [seen]: the caller immediately re-proposes these
+     requests itself; duplicates arriving later must still be dropped. *)
+  reqs

@@ -1,0 +1,56 @@
+(** The common shape of a BFT protocol implementation.
+
+    Each protocol library (PoE, PBFT, Zyzzyva, SBFT, HotStuff) provides a
+    module of this type; the harness assembles clusters, wires networking
+    and clients, and runs experiments purely through this interface. *)
+
+module type S = sig
+  val name : string
+
+  type replica
+
+  val create_replica : Replica_ctx.t -> replica
+
+  val start_replica : replica -> unit
+  (** Called once at simulation start (arms timers, etc.). *)
+
+  val on_message : replica -> src:int -> Message.t -> unit
+  (** Handle a delivered message. The wiring has already charged the
+      input-thread cost including {!receive_cost}. *)
+
+  val receive_cost : src:int -> Config.t -> Cost.t -> Message.t -> float
+  (** CPU seconds the input thread spends authenticating this message
+      (scheme-dependent), charged before {!on_message} runs. [src] is the
+      sending node (replicas are [< n]): client requests relayed by a
+      replica were already signature-checked on first receipt, so the
+      relay channel's MAC is all that needs verifying. *)
+
+  val hub_hooks : Config.t -> Hub_core.hooks
+  (** Client-side behaviour: completion quorum, request routing, timeout
+      recovery. *)
+
+  (** {1 Introspection (tests and experiment reports)} *)
+
+  val current_view : replica -> int
+
+  val ctx : replica -> Replica_ctx.t
+end
+
+(** Shared input-thread cost for the client-facing messages every protocol
+    handles the same way: the input threads verify the client's digital
+    signature on each request (paper §IV-C: clients always sign with DS). *)
+let client_receive_cost ~src (cfg : Config.t) (cost : Cost.t)
+    (msg : Message.t) : float option =
+  let from_replica = src < cfg.Config.n in
+  let per_request =
+    if from_replica then cost.Cost.mac_verify
+    else Cost.auth_verify cost cfg.Config.client_scheme
+  in
+  match msg with
+  | Message.Client_request _ | Message.Client_forward _ ->
+      Some (cost.Cost.msg_in +. per_request)
+  | Message.Client_request_bundle reqs ->
+      Some
+        (cost.Cost.msg_in
+        +. (float_of_int (List.length reqs) *. per_request))
+  | _ -> None

@@ -1,0 +1,249 @@
+module Ctx = Replica_ctx
+module Exec = Exec_engine
+
+type t = {
+  ctx : Ctx.t;
+  exec : Exec.t;
+  primary : unit -> int;
+  active : unit -> bool;
+  on_suspect : unit -> unit;
+  on_stable : int -> unit;
+  watched : (int, Message.request * float) Hashtbl.t;
+  votes : (int, (int, string) Hashtbl.t) Hashtbl.t; (* seqno -> sender -> d *)
+  mutable last_vote_sent : int;
+  mutable transfer_pending : bool;
+}
+
+let create ~ctx ~exec ~primary ~active ~on_suspect ?(on_stable = fun _ -> ())
+    () =
+  {
+    ctx;
+    exec;
+    primary;
+    active;
+    on_suspect;
+    on_stable;
+    watched = Hashtbl.create 256;
+    votes = Hashtbl.create 16;
+    last_vote_sent = -1;
+    transfer_pending = false;
+  }
+
+let stable t = Exec.stable t.exec
+
+let cfg t = Ctx.config t.ctx
+
+let forward_to_primary t (req : Message.request) =
+  Ctx.send_replica t.ctx ~dst:(t.primary ())
+    ~bytes:(Message.Wire.request (cfg t))
+    (Message.Client_request req)
+
+let watch t req =
+  let key = Message.request_key req in
+  if (not (Hashtbl.mem t.watched key)) && not (Exec.was_executed t.exec req)
+  then begin
+    let deadline = Ctx.now t.ctx +. (cfg t).Config.view_timeout in
+    Hashtbl.replace t.watched key (req, deadline);
+    forward_to_primary t req
+  end
+
+let watched_requests t =
+  Hashtbl.fold (fun _ (req, _) acc -> req :: acc) t.watched []
+
+let refresh_watches t =
+  let deadline = Ctx.now t.ctx +. (cfg t).Config.view_timeout in
+  let entries = Hashtbl.fold (fun k (r, _) acc -> (k, r) :: acc) t.watched [] in
+  (* One bundle for the whole backlog: a per-request re-forward storm from
+     every replica would bury the new primary. *)
+  let bundle =
+    List.filter_map
+      (fun (key, req) ->
+        if Exec.was_executed t.exec req then begin
+          Hashtbl.remove t.watched key;
+          None
+        end
+        else begin
+          Hashtbl.replace t.watched key (req, deadline);
+          Some req
+        end)
+      entries
+  in
+  if bundle <> [] then
+    Ctx.send_replica t.ctx ~dst:(t.primary ())
+      ~bytes:(List.length bundle * Message.Wire.request (cfg t))
+      (Message.Client_request_bundle bundle)
+
+(* ------------------------------------------------------------------ *)
+(* Checkpoints and state transfer                                      *)
+
+let vote_bucket t seqno =
+  match Hashtbl.find_opt t.votes seqno with
+  | Some h -> h
+  | None ->
+      let h = Hashtbl.create 8 in
+      Hashtbl.replace t.votes seqno h;
+      h
+
+let broadcast_vote t ~seqno =
+  if seqno > t.last_vote_sent then begin
+    t.last_vote_sent <- seqno;
+    let digest =
+      match Exec.executed_batch t.exec seqno with
+      | Some b -> b.Message.digest
+      | None -> "?"
+    in
+    Ctx.broadcast_replicas t.ctx ~bytes:Message.Wire.vote
+      (Message.Checkpoint_vote { seqno; digest });
+    Hashtbl.replace (vote_bucket t seqno) (Ctx.id t.ctx) digest
+  end
+
+let stabilize t ~seqno =
+  if seqno > Exec.stable t.exec && seqno <= Exec.k_exec t.exec then begin
+    Exec.set_stable t.exec seqno;
+    Ctx.stable_checkpoint t.ctx ~seqno;
+    Exec.gc_below t.exec ~seqno;
+    List.iter
+      (fun s -> if s <= seqno then Hashtbl.remove t.votes s)
+      (Hashtbl.fold (fun s _ acc -> s :: acc) t.votes []);
+    t.on_stable seqno
+  end
+
+let request_state_transfer t ~from_peers =
+  if not t.transfer_pending then begin
+    t.transfer_pending <- true;
+    let peer =
+      List.filter (fun p -> p <> Ctx.id t.ctx) from_peers
+      |> List.fold_left min max_int
+    in
+    if peer < max_int then
+      Ctx.send_replica t.ctx ~dst:peer ~bytes:Message.Wire.vote
+        (Message.State_request { from_seqno = Exec.k_exec t.exec })
+  end
+
+let entry_bytes = Message.Wire.per_txn + 64
+
+let on_vote t ~src ~seqno ~digest =
+  let bucket = vote_bucket t seqno in
+  Hashtbl.replace bucket src digest;
+  let matching =
+    Hashtbl.fold
+      (fun _ d acc -> if String.equal d digest then acc + 1 else acc)
+      bucket 0
+  in
+  let config = cfg t in
+  if seqno <= Exec.k_exec t.exec then begin
+    if matching >= Config.nf config then stabilize t ~seqno
+  end
+  else if matching >= Config.f config + 1 then begin
+    (* At least one honest replica is ahead of us: catch up. *)
+    let peers =
+      Hashtbl.fold
+        (fun id d acc -> if String.equal d digest then id :: acc else acc)
+        bucket []
+    in
+    request_state_transfer t ~from_peers:peers
+  end
+
+let retained_entries t ~above =
+  Exec.executed_since t.exec above
+  |> List.map (fun (e_seqno, e_view, e_batch) ->
+         { Message.e_seqno; e_view; e_batch })
+
+let on_state_request t ~src ~from_seqno =
+  let stable = Exec.stable t.exec in
+  if from_seqno >= stable then begin
+    (* Incremental: the requester's horizon is within our retention. *)
+    let entries = retained_entries t ~above:from_seqno in
+    if entries <> [] then
+      Ctx.send_replica t.ctx ~dst:src
+        ~bytes:(Message.Wire.header + (List.length entries * entry_bytes))
+        (Message.State_transfer { entries })
+  end
+  else begin
+    (* The requester is behind our stable checkpoint: batches below it are
+       garbage-collected, so ship the checkpoint itself — application rows
+       and ledger as of [stable] — plus the retained tail. *)
+    let rows, blocks = Ctx.checkpoint_snapshot t.ctx ~upto:stable in
+    let entries = retained_entries t ~above:stable in
+    let bytes =
+      Message.Wire.header
+      + (List.length rows * 48)
+      + (List.length blocks * 96)
+      + (List.length entries * entry_bytes)
+    in
+    Ctx.send_replica t.ctx ~dst:src ~bytes
+      (Message.State_snapshot { upto = stable; rows; blocks; entries })
+  end
+
+let on_state_snapshot t ~upto ~rows ~blocks ~entries =
+  t.transfer_pending <- false;
+  if upto > Exec.k_exec t.exec then begin
+    Exec.adopt_snapshot t.exec ~upto ~rows ~blocks;
+    Ctx.stable_checkpoint t.ctx ~seqno:upto;
+    t.on_stable upto
+  end;
+  List.iter
+    (fun (e : Message.exec_entry) ->
+      if e.e_seqno = Exec.k_exec t.exec + 1 then
+        Exec.force_adopt t.exec ~seqno:e.e_seqno ~view:e.e_view
+          ~batch:e.e_batch
+          ~proof:(Poe_ledger.Block.Vote_certificate []))
+    entries
+
+let on_state_transfer t ~entries =
+  t.transfer_pending <- false;
+  List.iter
+    (fun (e : Message.exec_entry) ->
+      if e.e_seqno = Exec.k_exec t.exec + 1 then
+        Exec.force_adopt t.exec ~seqno:e.e_seqno ~view:e.e_view
+          ~batch:e.e_batch
+          ~proof:(Poe_ledger.Block.Vote_certificate []))
+    entries
+
+let on_message t ~src msg =
+  match msg with
+  | Message.Checkpoint_vote { seqno; digest } ->
+      on_vote t ~src ~seqno ~digest;
+      true
+  | Message.State_request { from_seqno } ->
+      on_state_request t ~src ~from_seqno;
+      true
+  | Message.State_transfer { entries } ->
+      on_state_transfer t ~entries;
+      true
+  | Message.State_snapshot { upto; rows; blocks; entries } ->
+      on_state_snapshot t ~upto ~rows ~blocks ~entries;
+      true
+  | _ -> false
+
+let note_executed t ~seqno ~(batch : Message.batch) =
+  Array.iter
+    (fun r -> Hashtbl.remove t.watched (Message.request_key r))
+    batch.Message.reqs;
+  if (seqno + 1) mod (cfg t).Config.checkpoint_period = 0 then
+    broadcast_vote t ~seqno
+
+let rec sweep t =
+  if t.active () then begin
+    (* Allow a fresh transfer request each sweep in case the last one was
+       lost or its peer crashed. *)
+    t.transfer_pending <- false;
+    let now = Ctx.now t.ctx in
+    let suspicious =
+      Hashtbl.fold
+        (fun _ (req, deadline) acc ->
+          acc || (now >= deadline && not (Exec.was_executed t.exec req)))
+        t.watched false
+    in
+    if suspicious then t.on_suspect ()
+    else if Exec.k_exec t.exec > t.last_vote_sent then
+      (* Time-based vote: keeps dark replicas able to catch up even when
+         the commit rate is below the checkpoint period. *)
+      broadcast_vote t ~seqno:(Exec.k_exec t.exec)
+  end;
+  ignore
+    (Ctx.schedule t.ctx
+       ~delay:((cfg t).Config.view_timeout /. 2.0)
+       (fun () -> sweep t))
+
+let start t = sweep t

@@ -1,0 +1,59 @@
+(** Protocol-independent robustness machinery shared by every BFT protocol
+    in this repository:
+
+    - {b request watching}: a backup that receives a client request it
+      cannot serve forwards it to the primary and babysits it; if the
+      request is still unexecuted when its deadline passes, the replica
+      suspects the primary (the protocol's [on_suspect] then starts its
+      view-change);
+    - {b checkpoint votes}: after every [checkpoint_period] executed
+      seqnos (and periodically in wall-clock time), replicas vote a
+      checkpoint. nf matching votes make the seqno stable — undo
+      information is garbage-collected and view-change summaries shrink;
+    - {b state transfer}: f+1 matching votes above a replica's own horizon
+      prove it is behind (e.g. kept in the dark by a byzantine primary);
+      it fetches the missing batches from a peer and fast-forwards.
+
+    The paper describes this machinery for PoE (§II-C3, Theorem 7); PBFT
+    introduced the same pattern, and our Zyzzyva/SBFT/HotStuff baselines
+    reuse it too. *)
+
+type t
+
+val create :
+  ctx:Replica_ctx.t ->
+  exec:Exec_engine.t ->
+  primary:(unit -> int) ->
+      (* where to forward watched requests (current primary / leader) *)
+  active:(unit -> bool) ->
+      (* suspicion only fires while the protocol is in its normal case *)
+  on_suspect:(unit -> unit) ->
+  ?on_stable:(int -> unit) ->
+      (* protocol hook to GC its own per-slot state *)
+  unit ->
+  t
+
+val start : t -> unit
+(** Arm the periodic sweep (deadline checks + time-based checkpoint
+    votes). *)
+
+val watch : t -> Message.request -> unit
+(** Forward to the current primary and babysit. No-op if already watched
+    or already executed. *)
+
+val refresh_watches : t -> unit
+(** After a view change: re-forward every still-unexecuted watched request
+    to the (new) primary with fresh deadlines; drop executed ones. *)
+
+val watched_requests : t -> Message.request list
+
+val note_executed : t -> seqno:int -> batch:Message.batch -> unit
+(** Call from the protocol's on-executed hook: clears watches for the
+    batch's requests and votes a checkpoint when the period boundary is
+    crossed. *)
+
+val on_message : t -> src:int -> Message.t -> bool
+(** Handles {!Message.Checkpoint_vote}, {!Message.State_request} and
+    {!Message.State_transfer}; returns [true] when consumed. *)
+
+val stable : t -> int

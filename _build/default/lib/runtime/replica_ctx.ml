@@ -1,0 +1,215 @@
+module Engine = Poe_simnet.Engine
+module Network = Poe_simnet.Network
+module Rng = Poe_simnet.Rng
+module Kv_store = Poe_store.Kv_store
+module Undo_log = Poe_store.Undo_log
+module Chain = Poe_ledger.Chain
+module Block = Poe_ledger.Block
+
+type behavior =
+  | Honest
+  | Silent
+  | Equivocate
+  | Keep_in_dark of int list
+  | Stop_proposing
+
+type t = {
+  id : int;
+  config : Config.t;
+  cost : Cost.t;
+  engine : Engine.t;
+  net : Message.t Network.t;
+  server : Server.t;
+  stats : Stats.t;
+  rng : Rng.t;
+  store : Kv_store.t option;
+  undo : Undo_log.t option;
+  chain : Chain.t option;
+  mutable executed : (int * string) list; (* (seqno, digest), newest first *)
+  mutable executed_count : int;
+  threshold : (Poe_crypto.Threshold.scheme * Poe_crypto.Threshold.signer) option;
+  mutable alive : bool;
+  mutable behavior : behavior;
+}
+
+let create ~id ~config ~cost ~engine ~net ~server ~stats ~rng ?threshold () =
+  let store, undo, chain =
+    if config.Config.materialize then begin
+      let s = Kv_store.create () in
+      Kv_store.load_ycsb s ~records:Poe_store.Ycsb.small_profile.records
+        ~payload_bytes:Poe_store.Ycsb.small_profile.value_bytes;
+      (Some s, Some (Undo_log.create s), Some (Chain.create ~initial_primary:0))
+    end
+    else (None, None, None)
+  in
+  {
+    id;
+    config;
+    cost;
+    engine;
+    net;
+    server;
+    stats;
+    rng;
+    store;
+    undo;
+    chain;
+    threshold;
+    executed = [];
+    executed_count = 0;
+    alive = true;
+    behavior = Honest;
+  }
+
+let id t = t.id
+let config t = t.config
+let cost t = t.cost
+let now t = Engine.now t.engine
+let rng t = t.rng
+let stats t = t.stats
+let server t = t.server
+
+let is_primary_of t view = Config.primary_of_view t.config view = t.id
+
+let alive t = t.alive
+
+let kill t =
+  t.alive <- false;
+  Network.crash t.net t.id
+
+let behavior t = t.behavior
+let set_behavior t b = t.behavior <- b
+
+(* All outbound traffic passes through the output threads: one Io charge
+   covering thread overhead plus per-byte serialization, then the NIC. *)
+let out_cost t ~bytes ~fanout =
+  float_of_int fanout
+  *. (t.cost.Cost.msg_out +. (float_of_int bytes *. t.cost.Cost.msg_per_byte))
+
+let raw_send t ~dst ~bytes msg =
+  Network.send t.net ~src:t.id ~dst ~bytes msg
+
+let send_replica t ~dst ~bytes msg =
+  if t.alive then
+    Server.submit t.server Server.Io ~cost:(out_cost t ~bytes ~fanout:1)
+      (fun () -> if t.alive then raw_send t ~dst ~bytes msg)
+
+let send_hub t ~hub ~bytes msg =
+  if t.alive then
+    Server.submit t.server Server.Io ~cost:(out_cost t ~bytes ~fanout:1)
+      (fun () -> if t.alive then raw_send t ~dst:(t.config.Config.n + hub) ~bytes msg)
+
+let broadcast_to t ~dsts ~bytes msg =
+  if t.alive then begin
+    let fanout = List.length dsts in
+    if fanout > 0 then
+      Server.submit t.server Server.Io ~cost:(out_cost t ~bytes ~fanout)
+        (fun () ->
+          if t.alive then List.iter (fun dst -> raw_send t ~dst ~bytes msg) dsts)
+  end
+
+let broadcast_replicas ?(include_self = false) t ~bytes msg =
+  let dsts =
+    List.init t.config.Config.n (fun i -> i)
+    |> List.filter (fun i -> include_self || i <> t.id)
+  in
+  broadcast_to t ~dsts ~bytes msg
+
+let schedule t ~delay f =
+  Engine.schedule t.engine ~delay (fun () -> if t.alive then f ())
+
+let work t resource ~cost f =
+  if t.alive then
+    Server.submit t.server resource ~cost (fun () -> if t.alive then f ())
+
+let execute_batch t ~view ~seqno (batch : Message.batch) ~proof =
+  let result_digest =
+    match (t.store, t.undo) with
+    | Some store, Some undo ->
+        let results = ref [] in
+        let undos = ref [] in
+        Array.iter
+          (fun (r : Message.request) ->
+            match r.op with
+            | None -> ()
+            | Some op ->
+                let result, u = Kv_store.apply store op in
+                results := Format.asprintf "%a" Kv_store.pp_result result :: !results;
+                undos := u :: !undos)
+          batch.reqs;
+        Undo_log.record undo ~seqno (List.rev !undos);
+        (match t.chain with
+        | Some chain ->
+            ignore
+              (Chain.append chain ~seqno ~view ~batch_digest:batch.digest ~proof)
+        | None -> ());
+        Poe_crypto.Sha256.digest_list (batch.digest :: List.rev !results)
+    | _ -> batch.digest
+  in
+  t.executed <- (seqno, batch.digest) :: t.executed;
+  t.executed_count <- t.executed_count + 1;
+  result_digest
+
+let rollback_to t ~seqno =
+  t.executed <- List.filter (fun (s, _) -> s <= seqno) t.executed;
+  t.executed_count <- List.length t.executed;
+  match t.undo with
+  | None -> 0
+  | Some undo ->
+      let reverted = Undo_log.rollback_to undo ~seqno in
+      (match t.chain with
+      | Some chain ->
+          (* Drop ledger blocks above the surviving seqno. *)
+          let keep_height =
+            Chain.blocks chain
+            |> List.filter (fun (b : Block.t) -> b.seqno <= seqno)
+            |> List.fold_left (fun acc (b : Block.t) -> max acc b.height) 0
+          in
+          ignore (Chain.rollback_to_height chain keep_height)
+      | None -> ());
+      reverted
+
+let stable_checkpoint t ~seqno =
+  match t.undo with
+  | None -> ()
+  | Some undo -> Undo_log.truncate undo ~upto:seqno
+
+let checkpoint_snapshot t ~upto =
+  match t.undo with
+  | None -> ([], [])
+  | Some undo ->
+      let rows = Kv_store.rows (Undo_log.stable_state undo) in
+      let blocks =
+        match t.chain with
+        | None -> []
+        | Some chain ->
+            Chain.blocks chain
+            |> List.filter (fun (b : Block.t) ->
+                   b.height = 0 || b.seqno <= upto)
+      in
+      (rows, blocks)
+
+let install_snapshot t ~upto ~rows ~blocks =
+  t.executed <- [];
+  t.executed_count <- 0;
+  (match t.store with
+  | Some store when rows <> [] -> Kv_store.load_rows store rows
+  | Some _ | None -> ());
+  (match t.undo with
+  | Some undo -> Undo_log.reset_to undo ~seqno:upto
+  | None -> ());
+  match (t.chain, blocks) with
+  | Some chain, _ :: _ -> (
+      match Chain.install chain blocks with
+      | Ok () -> ()
+      | Error e -> invalid_arg ("install_snapshot: bad ledger: " ^ e))
+  | (Some _ | None), _ -> ()
+
+let threshold t = t.threshold
+
+let store t = t.store
+let chain t = t.chain
+
+let executed_count t = t.executed_count
+
+let executed_digests t = List.rev t.executed

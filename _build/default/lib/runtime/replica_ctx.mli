@@ -1,0 +1,139 @@
+(** Everything a protocol replica needs from its environment: identity,
+    configuration, clock, authenticated network sends with cost accounting,
+    CPU lanes, timers, and the (optional) materialized application state —
+    KV store, undo log, and blockchain ledger.
+
+    Protocol implementations (PoE, PBFT, ...) are written purely against
+    this interface, so the same protocol code runs in correctness tests
+    (materialized state, real rollbacks) and in performance experiments
+    (cost-only execution). *)
+
+type behavior =
+  | Honest
+  | Silent
+      (** crashed / muted: sends are suppressed (fail-stop) *)
+  | Equivocate
+      (** byzantine primary: proposes different batches to different
+          replicas (Example 3, case 1) *)
+  | Keep_in_dark of int list
+      (** byzantine primary: skips these replicas when proposing
+          (Example 3, case 2) *)
+  | Stop_proposing
+      (** byzantine primary: accepts requests but never proposes
+          (Example 3, case 3) *)
+
+type t
+
+val create :
+  id:int ->
+  config:Config.t ->
+  cost:Cost.t ->
+  engine:Poe_simnet.Engine.t ->
+  net:Message.t Poe_simnet.Network.t ->
+  server:Server.t ->
+  stats:Stats.t ->
+  rng:Poe_simnet.Rng.t ->
+  ?threshold:Poe_crypto.Threshold.scheme * Poe_crypto.Threshold.signer ->
+  unit ->
+  t
+(** Network node ids: replicas occupy [0 .. n-1]; client hub [h] occupies
+    [n + h]. When [config.materialize] is set, the replica gets a private
+    KV store (populated with the small YCSB profile), undo log, and
+    ledger. *)
+
+val id : t -> int
+val config : t -> Config.t
+val cost : t -> Cost.t
+val now : t -> float
+val rng : t -> Poe_simnet.Rng.t
+val stats : t -> Stats.t
+val server : t -> Server.t
+
+val is_primary_of : t -> int -> bool
+(** [is_primary_of ctx view] *)
+
+(** {1 Liveness and fault injection} *)
+
+val alive : t -> bool
+
+val kill : t -> unit
+(** Fail-stop: suppress all future sends, receives, timers and CPU work. *)
+
+val behavior : t -> behavior
+val set_behavior : t -> behavior -> unit
+
+(** {1 Communication}
+
+    Each send charges the output-thread cost ([msg_out] plus per-byte) on
+    the [Io] resource before the message reaches the NIC, mirroring
+    ResilientDB's output threads. *)
+
+val send_replica : t -> dst:int -> bytes:int -> Message.t -> unit
+val send_hub : t -> hub:int -> bytes:int -> Message.t -> unit
+
+val broadcast_replicas : ?include_self:bool -> t -> bytes:int -> Message.t -> unit
+(** One aggregated CPU charge for the whole fan-out, then a send per peer.
+    With [include_self] (default false) the message is also delivered
+    locally (through the queue, not recursively). *)
+
+val broadcast_to : t -> dsts:int list -> bytes:int -> Message.t -> unit
+(** Targeted multicast, e.g. for equivocation experiments. *)
+
+(** {1 Timers and CPU work} *)
+
+val schedule : t -> delay:float -> (unit -> unit) -> Poe_simnet.Engine.timer
+(** The callback is dropped if the replica has been killed meanwhile. *)
+
+val work : t -> Server.resource -> cost:float -> (unit -> unit) -> unit
+(** Occupy a CPU lane for [cost] seconds, then run the continuation
+    (dropped if killed meanwhile). *)
+
+(** {1 Application state (materialized runs)} *)
+
+val execute_batch :
+  t -> view:int -> seqno:int -> Message.batch ->
+  proof:Poe_ledger.Block.proof -> string
+(** Apply every transaction of the batch to the KV store (recording undos),
+    append a ledger block, and return the digest of the execution results.
+    In cost-only runs this is a no-op returning the batch digest.
+    Execution CPU must be charged by the caller (protocols submit to the
+    [Execute] lane first), since batching of the charge is protocol
+    specific. *)
+
+val rollback_to : t -> seqno:int -> int
+(** Revert speculative batches with seqno strictly greater than the
+    argument (undo log + ledger); returns number of batches reverted.
+    No-op (returning 0) in cost-only runs. *)
+
+val stable_checkpoint : t -> seqno:int -> unit
+(** Garbage-collect undo information up to and including [seqno]. *)
+
+val checkpoint_snapshot :
+  t -> upto:int -> (string * string) list * Poe_ledger.Block.t list
+(** The application rows and ledger blocks as of the stable checkpoint
+    [upto] (speculative writes above it reverted on a clone) — what a
+    state-snapshot transfer ships. Empty lists in cost-only runs. *)
+
+val install_snapshot :
+  t -> upto:int -> rows:(string * string) list ->
+  blocks:Poe_ledger.Block.t list -> unit
+(** Replace the local application state and ledger with a transferred
+    checkpoint (no-op on the state in cost-only runs); resets the undo log
+    and the executed-digest bookkeeping to start from [upto]. *)
+
+val threshold :
+  t -> (Poe_crypto.Threshold.scheme * Poe_crypto.Threshold.signer) option
+(** Real threshold-signature key material (materialized runs): protocols
+    compute, combine and verify actual signature shares end-to-end. [None]
+    in cost-only runs, where the crypto is charged but not computed. *)
+
+val store : t -> Poe_store.Kv_store.t option
+val chain : t -> Poe_ledger.Chain.t option
+val executed_count : t -> int
+(** Number of currently-executed (non-rolled-back) batches — O(1), for
+    hot-loop progress checks. *)
+
+val executed_digests : t -> (int * string) list
+(** [(seqno, batch_digest)] of currently-executed (non-rolled-back)
+    batches, oldest first; tracked in both modes, used by tests to check
+    agreement across replicas. *)

@@ -1,0 +1,62 @@
+module Engine = Poe_simnet.Engine
+
+type resource = Io | Batcher | Worker | Execute
+
+type pool = {
+  free_at : float array;      (* when each lane next becomes idle *)
+  mutable busy : float;       (* accumulated work *)
+}
+
+type t = {
+  engine : Engine.t;
+  io : pool;
+  batcher : pool;
+  worker : pool;
+  execute : pool;
+}
+
+let make_pool lanes =
+  if lanes < 1 then invalid_arg "Server: lanes >= 1";
+  { free_at = Array.make lanes 0.0; busy = 0.0 }
+
+let create ~engine ?(io_lanes = 8) ?(batcher_lanes = 2) ?(worker_lanes = 1)
+    ?(execute_lanes = 1) () =
+  {
+    engine;
+    io = make_pool io_lanes;
+    batcher = make_pool batcher_lanes;
+    worker = make_pool worker_lanes;
+    execute = make_pool execute_lanes;
+  }
+
+let pool t = function
+  | Io -> t.io
+  | Batcher -> t.batcher
+  | Worker -> t.worker
+  | Execute -> t.execute
+
+let earliest_free pool =
+  let best = ref 0 in
+  for i = 1 to Array.length pool.free_at - 1 do
+    if pool.free_at.(i) < pool.free_at.(!best) then best := i
+  done;
+  !best
+
+let submit t resource ~cost k =
+  if cost < 0.0 then invalid_arg "Server.submit: negative cost";
+  let pool = pool t resource in
+  let lane = earliest_free pool in
+  let now = Engine.now t.engine in
+  let start = Float.max now pool.free_at.(lane) in
+  let finish = start +. cost in
+  pool.free_at.(lane) <- finish;
+  pool.busy <- pool.busy +. cost;
+  ignore (Engine.schedule t.engine ~delay:(finish -. now) k)
+
+let busy_seconds t resource = (pool t resource).busy
+
+let backlog t resource =
+  let pool = pool t resource in
+  let now = Engine.now t.engine in
+  let earliest = pool.free_at.(earliest_free pool) in
+  Float.max 0.0 (earliest -. now)

@@ -1,0 +1,76 @@
+type t = {
+  warmup : float;
+  measure : float;
+  mutable completed_total : int;
+  mutable completed_window : int;
+  mutable latency_sum : float;
+  mutable latency_count : int;
+  mutable consensus_window : int;
+  (* completion timestamps bucketed at 100 ms granularity for the
+     view-change timeline; index = floor (time * 10) *)
+  mutable fine_buckets : int array;
+}
+
+let create ~warmup ~measure =
+  if warmup < 0.0 || measure <= 0.0 then invalid_arg "Stats.create";
+  {
+    warmup;
+    measure;
+    completed_total = 0;
+    completed_window = 0;
+    latency_sum = 0.0;
+    latency_count = 0;
+    consensus_window = 0;
+    fine_buckets = Array.make 256 0;
+  }
+
+let in_window t now = now >= t.warmup && now < t.warmup +. t.measure
+
+let bump_bucket t now count =
+  let idx = int_of_float (now *. 10.0) in
+  if idx >= 0 then begin
+    if idx >= Array.length t.fine_buckets then begin
+      let bigger = Array.make (max (idx + 1) (2 * Array.length t.fine_buckets)) 0 in
+      Array.blit t.fine_buckets 0 bigger 0 (Array.length t.fine_buckets);
+      t.fine_buckets <- bigger
+    end;
+    t.fine_buckets.(idx) <- t.fine_buckets.(idx) + count
+  end
+
+let record_completion t ~now ~submitted ~count =
+  t.completed_total <- t.completed_total + count;
+  bump_bucket t now count;
+  if in_window t now then begin
+    t.completed_window <- t.completed_window + count;
+    t.latency_sum <- t.latency_sum +. (float_of_int count *. (now -. submitted));
+    t.latency_count <- t.latency_count + count
+  end
+
+let record_consensus t ~now =
+  if in_window t now then t.consensus_window <- t.consensus_window + 1
+
+let throughput t = float_of_int t.completed_window /. t.measure
+
+let consensus_throughput t = float_of_int t.consensus_window /. t.measure
+
+let avg_latency t =
+  if t.latency_count = 0 then 0.0
+  else t.latency_sum /. float_of_int t.latency_count
+
+let completed_total t = t.completed_total
+
+let bucket_series t ~bucket ~upto =
+  if bucket <= 0.0 then invalid_arg "Stats.bucket_series";
+  let n_buckets = int_of_float (ceil (upto /. bucket)) in
+  List.init n_buckets (fun i ->
+      let start = float_of_int i *. bucket in
+      let fine_lo = int_of_float (start *. 10.0) in
+      let fine_hi = int_of_float ((start +. bucket) *. 10.0) in
+      let count = ref 0 in
+      for j = fine_lo to min (fine_hi - 1) (Array.length t.fine_buckets - 1) do
+        if j >= 0 then count := !count + t.fine_buckets.(j)
+      done;
+      (start, float_of_int !count /. bucket))
+
+let warmup t = t.warmup
+let measure t = t.measure

@@ -1,0 +1,35 @@
+(** Run measurement, matching the paper's methodology: a warmup period is
+    discarded, then throughput (completed transactions per second) and
+    average client latency are collected over the measurement window.
+    A per-second bucket series supports the Fig. 10 view-change timeline. *)
+
+type t
+
+val create : warmup:float -> measure:float -> t
+(** Measurement window is [[warmup, warmup + measure)] in simulated time. *)
+
+val record_completion : t -> now:float -> submitted:float -> count:int -> unit
+(** [count] transactions submitted at [submitted] completed at [now]. *)
+
+val record_consensus : t -> now:float -> unit
+(** One consensus decision completed (used by the Fig. 11 simulation, which
+    counts decisions rather than transactions). *)
+
+val throughput : t -> float
+(** Transactions per second over the measurement window. *)
+
+val consensus_throughput : t -> float
+
+val avg_latency : t -> float
+(** Mean seconds from submission to completion, over completions inside the
+    window; 0 when nothing completed. *)
+
+val completed_total : t -> int
+(** All completions, including outside the window. *)
+
+val bucket_series : t -> bucket:float -> upto:float -> (float * float) list
+(** [(bucket_start_time, txn_per_second)] pairs from time 0 to [upto],
+    counting all completions (no warmup exclusion) — the Fig. 10 series. *)
+
+val warmup : t -> float
+val measure : t -> float

@@ -1,0 +1,1 @@
+lib/sbft/sbft_protocol.ml: Array Hashtbl List Option Poe_ledger Poe_runtime String

@@ -1,0 +1,1 @@
+lib/sbft/sbft_protocol.mli: Poe_runtime

@@ -1,0 +1,459 @@
+module R = Poe_runtime
+module Config = R.Config
+module Cost = R.Cost
+module Message = R.Message
+module Server = R.Server
+module Ctx = R.Replica_ctx
+module Pipeline = R.Pipeline
+module Exec = R.Exec_engine
+module Recovery = R.Recovery
+module Hub = R.Hub_core
+module Block = Poe_ledger.Block
+
+let name = "sbft"
+
+type Message.t +=
+  | S_preprepare of { seqno : int; batch : Message.batch }
+  | S_share of { seqno : int; digest : string }     (* replica -> collector *)
+  | S_commit_proof of { seqno : int; digest : string; full : bool }
+      (* collector -> all; [full] = fast path (all n shares) *)
+  | S_share2 of { seqno : int; digest : string }    (* slow path, 2nd round *)
+  | S_final_proof of { seqno : int; digest : string }
+  | S_exec_share of { seqno : int; result : string } (* replica -> executor *)
+  | S_exec_proof of { seqno : int; result : string } (* executor -> all *)
+
+(* Collector-side per-slot state. *)
+type coll_slot = {
+  shares : (int, string) Hashtbl.t;
+  shares2 : (int, string) Hashtbl.t;
+  mutable proof_sent : bool;       (* fast or slow first proof *)
+  mutable final_sent : bool;
+  mutable timer_armed : bool;
+}
+
+(* Replica-side per-slot state. *)
+type slot = {
+  mutable batch : Message.batch option;
+  mutable share_sent : bool;
+  mutable committed : bool;  (* commit proof received -> execute *)
+  mutable offered : bool;
+}
+
+type replica = {
+  ctx : Ctx.t;
+  mutable exec : Exec.t;
+  mutable pipeline : Pipeline.t;
+  mutable recovery : Recovery.t;
+  slots : (int, slot) Hashtbl.t;
+  coll : (int, coll_slot) Hashtbl.t;      (* collector only *)
+  exec_shares : (int, (int, string) Hashtbl.t) Hashtbl.t; (* executor only *)
+  exec_results : (int, Message.batch * string) Hashtbl.t;
+      (* executor: own execution output awaiting aggregation *)
+  mutable exec_proof_sent : (int, unit) Hashtbl.t;
+  mutable next_seqno : int;
+}
+
+let ctx t = t.ctx
+let current_view _ = 0
+let k_exec t = Exec.k_exec t.exec
+let cfg t = Ctx.config t.ctx
+let costs t = Ctx.cost t.ctx
+let nf t = Config.nf (cfg t)
+let fq t = Config.f (cfg t)
+let n t = (cfg t).Config.n
+
+let primary_id = 0
+let collector t = 1 mod n t
+let executor t = 2 mod n t
+
+let is_primary t = Ctx.id t.ctx = primary_id
+let is_collector t = Ctx.id t.ctx = collector t
+let is_executor t = Ctx.id t.ctx = executor t
+
+let slot_of t seqno =
+  match Hashtbl.find_opt t.slots seqno with
+  | Some s -> s
+  | None ->
+      let s =
+        { batch = None; share_sent = false; committed = false; offered = false }
+      in
+      Hashtbl.replace t.slots seqno s;
+      s
+
+let coll_slot_of t seqno =
+  match Hashtbl.find_opt t.coll seqno with
+  | Some s -> s
+  | None ->
+      let s =
+        {
+          shares = Hashtbl.create 8;
+          shares2 = Hashtbl.create 8;
+          proof_sent = false;
+          final_sent = false;
+          timer_armed = false;
+        }
+      in
+      Hashtbl.replace t.coll seqno s;
+      s
+
+let maybe_execute t seqno slot =
+  match slot.batch with
+  | Some batch when slot.committed && not slot.offered ->
+      slot.offered <- true;
+      Exec.offer t.exec ~seqno ~view:0 ~batch
+        ~proof:(Block.Threshold_sig "sbft-commit")
+  | Some _ | None -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Collector                                                           *)
+
+let matching_count bucket digest =
+  Hashtbl.fold
+    (fun _ d acc -> if String.equal d digest then acc + 1 else acc)
+    bucket 0
+
+let send_proof t ~seqno ~digest ~full =
+  let c = costs t in
+  Ctx.work t.ctx Server.Worker
+    ~cost:(Cost.combine_cost c ~shares:(if full then n t else nf t))
+    (fun () ->
+      Ctx.broadcast_replicas t.ctx ~include_self:true ~bytes:Message.Wire.vote
+        (S_commit_proof { seqno; digest; full }))
+
+(* The collector's twin-path decision: all n shares -> fast path; on
+   timeout with >= nf -> slow path (two extra linear phases). *)
+let collector_check t seqno =
+  let cs = coll_slot_of t seqno in
+  if not cs.proof_sent then begin
+    let candidates =
+      Hashtbl.fold (fun _ d acc -> d :: acc) cs.shares []
+      |> List.sort_uniq compare
+    in
+    let best =
+      List.fold_left
+        (fun acc d ->
+          let count = matching_count cs.shares d in
+          match acc with
+          | Some (_, c) when c >= count -> acc
+          | _ -> Some (d, count))
+        None candidates
+    in
+    match best with
+    | Some (digest, count) when count >= n t ->
+        cs.proof_sent <- true;
+        cs.final_sent <- true; (* fast path needs no second round *)
+        send_proof t ~seqno ~digest ~full:true
+    | Some _ | None -> ()
+  end
+
+let rec collector_timeout t seqno =
+  let cs = coll_slot_of t seqno in
+  if not cs.proof_sent then begin
+    let best =
+      Hashtbl.fold
+        (fun _ d acc ->
+          let count = matching_count cs.shares d in
+          match acc with
+          | Some (_, c) when c >= count -> acc
+          | _ -> Some (d, count))
+        cs.shares None
+    in
+    match best with
+    | Some (digest, count) when count >= nf t ->
+        (* Slow path, phase 1: circulate the nf-aggregate for re-signing. *)
+        cs.proof_sent <- true;
+        send_proof t ~seqno ~digest ~full:false
+    | Some _ | None ->
+        (* Not even nf shares: keep waiting (e.g. proposals still in
+           flight); re-arm. *)
+        ignore
+          (Ctx.schedule t.ctx ~delay:(cfg t).Config.request_timeout (fun () ->
+               collector_timeout t seqno))
+  end
+
+let arm_collector_timer t seqno =
+  let cs = coll_slot_of t seqno in
+  if not cs.timer_armed then begin
+    cs.timer_armed <- true;
+    ignore
+      (Ctx.schedule t.ctx ~delay:(cfg t).Config.request_timeout (fun () ->
+           collector_timeout t seqno))
+  end
+
+let on_share t ~src ~seqno ~digest =
+  if is_collector t then begin
+    let cs = coll_slot_of t seqno in
+    if not (Hashtbl.mem cs.shares src) then begin
+      let c = costs t in
+      Hashtbl.replace cs.shares src digest;
+      arm_collector_timer t seqno;
+      Ctx.work t.ctx Server.Worker ~cost:c.Cost.ts_share_verify (fun () ->
+          collector_check t seqno)
+    end
+  end
+
+let on_share2 t ~src ~seqno ~digest =
+  if is_collector t then begin
+    let cs = coll_slot_of t seqno in
+    if not (Hashtbl.mem cs.shares2 src) then begin
+      Hashtbl.replace cs.shares2 src digest;
+      if (not cs.final_sent) && matching_count cs.shares2 digest >= nf t
+      then begin
+        cs.final_sent <- true;
+        let c = costs t in
+        Ctx.work t.ctx Server.Worker
+          ~cost:(Cost.combine_cost c ~shares:(nf t))
+          (fun () ->
+            Ctx.broadcast_replicas t.ctx ~include_self:true
+              ~bytes:Message.Wire.vote
+              (S_final_proof { seqno; digest }))
+      end
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Replica roles                                                       *)
+
+let send_share t ~seqno (batch : Message.batch) =
+  let slot = slot_of t seqno in
+  if not slot.share_sent then begin
+    slot.share_sent <- true;
+    slot.batch <- Some batch;
+    let c = costs t in
+    let cpu =
+      Cost.hash_cost c ~bytes:(Message.Wire.propose (cfg t))
+      +. c.Cost.ts_share_sign
+    in
+    Ctx.work t.ctx Server.Worker ~cost:cpu (fun () ->
+        Ctx.send_replica t.ctx ~dst:(collector t) ~bytes:Message.Wire.vote
+          (S_share { seqno; digest = batch.Message.digest }))
+  end
+
+let on_preprepare t ~src ~seqno (batch : Message.batch) =
+  if src = primary_id then send_share t ~seqno batch
+
+let on_commit_proof t ~seqno ~digest ~full =
+  let slot = slot_of t seqno in
+  match slot.batch with
+  | Some batch when String.equal batch.Message.digest digest ->
+      if full then begin
+        if not slot.committed then begin
+          let c = costs t in
+          Ctx.work t.ctx Server.Worker ~cost:c.Cost.ts_verify (fun () ->
+              slot.committed <- true;
+              maybe_execute t seqno slot)
+        end
+      end
+      else begin
+        (* Slow path: re-sign the aggregate (second share round). *)
+        let c = costs t in
+        Ctx.work t.ctx Server.Worker
+          ~cost:(c.Cost.ts_verify +. c.Cost.ts_share_sign)
+          (fun () ->
+            Ctx.send_replica t.ctx ~dst:(collector t) ~bytes:Message.Wire.vote
+              (S_share2 { seqno; digest }))
+      end
+  | Some _ | None -> ()
+
+let on_final_proof t ~seqno ~digest =
+  let slot = slot_of t seqno in
+  match slot.batch with
+  | Some batch when String.equal batch.Message.digest digest ->
+      if not slot.committed then begin
+        let c = costs t in
+        Ctx.work t.ctx Server.Worker ~cost:c.Cost.ts_verify (fun () ->
+            slot.committed <- true;
+            maybe_execute t seqno slot)
+      end
+  | Some _ | None -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Executor                                                            *)
+
+let executor_respond t ~seqno ~result =
+  match Hashtbl.find_opt t.exec_results seqno with
+  | Some (batch, _) when not (Hashtbl.mem t.exec_proof_sent seqno) ->
+      Hashtbl.replace t.exec_proof_sent seqno ();
+      let c = costs t in
+      Ctx.work t.ctx Server.Worker
+        ~cost:(Cost.combine_cost c ~shares:(fq t + 1))
+        (fun () ->
+          (* One aggregate response reaches the clients (I4's "response
+             aggregation"), plus the broadcast back to all replicas. *)
+          Ctx.broadcast_replicas t.ctx ~bytes:Message.Wire.vote
+            (S_exec_proof { seqno; result });
+          let config = cfg t in
+          let by_hub = Hashtbl.create 16 in
+          Array.iter
+            (fun (r : Message.request) ->
+              let acks =
+                Option.value (Hashtbl.find_opt by_hub r.Message.hub) ~default:[]
+              in
+              Hashtbl.replace by_hub r.Message.hub
+                ((r.Message.client, r.Message.rid) :: acks))
+            batch.Message.reqs;
+          Hashtbl.iter
+            (fun hub acks ->
+              Ctx.send_hub t.ctx ~hub
+                ~bytes:(Message.Wire.response config ~per_reqs:(List.length acks))
+                (Message.Exec_response
+                   {
+                     view = 0;
+                     seqno;
+                     replica = Ctx.id t.ctx;
+                     batch_digest = "";
+                     result_digest = result;
+                     acks;
+                   }))
+            by_hub)
+  | Some _ | None -> ()
+
+let on_exec_share t ~src ~seqno ~result =
+  if is_executor t then begin
+    let bucket =
+      match Hashtbl.find_opt t.exec_shares seqno with
+      | Some h -> h
+      | None ->
+          let h = Hashtbl.create 8 in
+          Hashtbl.replace t.exec_shares seqno h;
+          h
+    in
+    if not (Hashtbl.mem bucket src) then begin
+      Hashtbl.replace bucket src result;
+      if matching_count bucket result >= fq t + 1 then
+        executor_respond t ~seqno ~result
+    end
+  end
+
+let on_executed t ~seqno ~batch ~result =
+  if is_primary t then Pipeline.seqno_closed t.pipeline;
+  Recovery.note_executed t.recovery ~seqno ~batch;
+  (* Send the execution share to the executor; the executor also keeps the
+     batch so it can answer the clients once f+1 shares agree. *)
+  if is_executor t then begin
+    Hashtbl.replace t.exec_results seqno (batch, result);
+    on_exec_share t ~src:(Ctx.id t.ctx) ~seqno ~result;
+    (match Hashtbl.find_opt t.exec_shares seqno with
+    | Some bucket when matching_count bucket result >= fq t + 1 ->
+        executor_respond t ~seqno ~result
+    | Some _ | None -> ())
+  end
+  else begin
+    let c = costs t in
+    Ctx.work t.ctx Server.Worker ~cost:c.Cost.ts_share_sign (fun () ->
+        Ctx.send_replica t.ctx ~dst:(executor t) ~bytes:Message.Wire.vote
+          (S_exec_share { seqno; result }))
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Primary                                                             *)
+
+let propose_batch t (batch : Message.batch) =
+  if Ctx.alive t.ctx && is_primary t then begin
+    let seqno = t.next_seqno in
+    t.next_seqno <- seqno + 1;
+    (match Ctx.behavior t.ctx with
+    | Ctx.Honest ->
+        Ctx.broadcast_replicas t.ctx
+          ~bytes:(Message.Wire.propose (cfg t))
+          (S_preprepare { seqno; batch })
+    | Ctx.Silent | Ctx.Stop_proposing -> ()
+    | Ctx.Keep_in_dark dark ->
+        let dsts =
+          List.init (n t) (fun i -> i)
+          |> List.filter (fun i -> i <> Ctx.id t.ctx && not (List.mem i dark))
+        in
+        Ctx.broadcast_to t.ctx ~dsts
+          ~bytes:(Message.Wire.propose (cfg t))
+          (S_preprepare { seqno; batch })
+    | Ctx.Equivocate ->
+        (* The collector's n-share fast quorum and nf slow quorum make a
+           split proposal unable to gather either; the slot stalls. *)
+        ());
+    send_share t ~seqno batch
+  end
+
+let on_client_request t (req : Message.request) =
+  if Exec.was_executed t.exec req then ()
+  else if is_primary t then Pipeline.add_request t.pipeline req
+  else Recovery.watch t.recovery req
+
+let create_replica ctx =
+  let placeholder_exec = Exec.create ~ctx () in
+  let t =
+    {
+      ctx;
+      exec = placeholder_exec;
+      pipeline = Pipeline.create ~ctx ~on_batch:(fun _ -> ()) ();
+      recovery =
+        Recovery.create ~ctx ~exec:placeholder_exec
+          ~primary:(fun () -> 0)
+          ~active:(fun () -> false)
+          ~on_suspect:(fun () -> ())
+          ();
+      slots = Hashtbl.create 1024;
+      coll = Hashtbl.create 64;
+      exec_shares = Hashtbl.create 64;
+      exec_results = Hashtbl.create 64;
+      exec_proof_sent = Hashtbl.create 64;
+      next_seqno = 0;
+    }
+  in
+  t.exec <-
+    (* Replicas do not answer clients directly: the executor aggregates
+       (paper §IV-A). *)
+    Exec.create ~ctx ~respond:false
+      ~on_executed:(fun ~seqno ~batch ~result ->
+        on_executed t ~seqno ~batch ~result)
+      ();
+  t.pipeline <-
+    Pipeline.create ~ctx ~on_batch:(fun batch -> propose_batch t batch) ();
+  t.recovery <-
+    Recovery.create ~ctx ~exec:t.exec
+      ~primary:(fun () -> 0)
+      ~active:(fun () -> true)
+        (* SBFT's primary-failure view change is PBFT's; the paper's
+           failure experiments never exercise it and neither do ours. *)
+      ~on_suspect:(fun () -> ())
+      ();
+  t
+
+let start_replica t = Recovery.start t.recovery
+
+let on_message t ~src msg =
+  if Ctx.alive t.ctx && not (Recovery.on_message t.recovery ~src msg) then
+    match msg with
+    | Message.Client_request req -> on_client_request t req
+    | Message.Client_request_bundle reqs -> List.iter (on_client_request t) reqs
+    | Message.Client_forward req -> on_client_request t req
+    | S_preprepare { seqno; batch } -> on_preprepare t ~src ~seqno batch
+    | S_share { seqno; digest } -> on_share t ~src ~seqno ~digest
+    | S_commit_proof { seqno; digest; full } -> on_commit_proof t ~seqno ~digest ~full
+    | S_share2 { seqno; digest } -> on_share2 t ~src ~seqno ~digest
+    | S_final_proof { seqno; digest } -> on_final_proof t ~seqno ~digest
+    | S_exec_share { seqno; result } -> on_exec_share t ~src ~seqno ~result
+    | S_exec_proof _ -> ()
+    | _ -> ()
+
+let receive_cost ~src config cost msg =
+  match R.Protocol_intf.client_receive_cost ~src config cost msg with
+  | Some c -> c
+  | None -> (
+      let base = cost.Cost.msg_in in
+      match msg with
+      | S_preprepare _ -> base +. cost.Cost.mac_verify
+      | S_share _ | S_share2 _ | S_exec_share _ ->
+          base +. cost.Cost.mac_verify
+      | S_commit_proof _ | S_final_proof _ | S_exec_proof _ ->
+          base +. cost.Cost.mac_verify
+      | _ -> base)
+
+let hub_hooks _config =
+  {
+    (* The executor's aggregate carries a threshold signature: a single
+       response suffices. *)
+    Hub.quorum = 1;
+    send_mode = Hub.To_primary;
+    on_timeout = None;
+    on_message = None;
+  }

@@ -1,0 +1,24 @@
+(** SBFT baseline (Golan Gueta et al.): Zyzzyva's safer twin-path
+    successor, linearized with threshold signatures and collector/executor
+    replicas.
+
+    Fast path (five linear phases): the primary PRE-PREPAREs; every replica
+    sends a signature share to the {e collector}; with shares from {b all}
+    n replicas the collector broadcasts a full commit proof; replicas
+    execute, send execution shares to the {e executor}; the executor
+    aggregates f+1 and sends the single aggregate response to clients (and
+    all replicas). A client therefore needs just one response.
+
+    Slow path: if the collector times out with only nf shares, two extra
+    linear phases run (sign-state + final proof) before execution — the
+    twin-path switch the paper measures under a single backup failure.
+
+    Collector is replica 1, executor replica 2 (the paper recommends
+    distinct roles, §IV-A). Like the paper's evaluation we focus on the
+    normal case plus the twin-path behaviour; primary failure uses a
+    PBFT-style view change in the original, which their Fig. 10 skips as
+    "no less expensive than PBFT" — ours stalls instead (documented). *)
+
+include Poe_runtime.Protocol_intf.S
+
+val k_exec : replica -> int

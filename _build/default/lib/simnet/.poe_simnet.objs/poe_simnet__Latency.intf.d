@@ -1,0 +1,1 @@
+lib/simnet/latency.mli: Format Rng

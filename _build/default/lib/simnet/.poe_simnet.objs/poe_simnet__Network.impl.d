@@ -1,0 +1,1 @@
+lib/simnet/network.ml: Array Engine Float Hashtbl Latency Rng

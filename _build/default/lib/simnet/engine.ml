@@ -1,0 +1,59 @@
+type timer = { mutable fire : (unit -> unit) option }
+(* [None] once fired or cancelled. *)
+
+type t = {
+  mutable clock : float;
+  queue : timer Event_queue.t;
+  root_rng : Rng.t;
+  mutable processed : int;
+}
+
+let create ?(seed = 42) () =
+  {
+    clock = 0.0;
+    queue = Event_queue.create ();
+    root_rng = Rng.create seed;
+    processed = 0;
+  }
+
+let now t = t.clock
+
+let rng t = t.root_rng
+
+let schedule t ~delay f =
+  let delay = if delay < 0.0 then 0.0 else delay in
+  let timer = { fire = Some f } in
+  Event_queue.push t.queue ~time:(t.clock +. delay) timer;
+  timer
+
+let cancel timer = timer.fire <- None
+
+let is_pending timer = timer.fire <> None
+
+let step t =
+  match Event_queue.pop t.queue with
+  | None -> false
+  | Some (time, timer) ->
+      t.clock <- time;
+      t.processed <- t.processed + 1;
+      (match timer.fire with
+      | None -> ()
+      | Some f ->
+          timer.fire <- None;
+          f ());
+      true
+
+let run ?until t =
+  let continue = ref true in
+  while !continue do
+    match (Event_queue.peek_time t.queue, until) with
+    | None, _ -> continue := false
+    | Some time, Some limit when time > limit ->
+        t.clock <- limit;
+        continue := false
+    | Some _, _ -> ignore (step t)
+  done
+
+let pending_events t = Event_queue.size t.queue
+
+let processed_events t = t.processed

@@ -1,0 +1,39 @@
+(** The discrete-event simulation engine: a virtual clock plus an event
+    queue of callbacks. This is the substrate standing in for the paper's
+    Google Cloud deployment (and is the same methodology the paper itself
+    uses in §IV-I for its Fig. 11 validation). *)
+
+type t
+
+type timer
+(** Handle for a scheduled event; may be cancelled. *)
+
+val create : ?seed:int -> unit -> t
+
+val now : t -> float
+(** Current simulated time, in seconds. *)
+
+val rng : t -> Rng.t
+(** The engine's root random stream (use {!Rng.split} for sub-streams). *)
+
+val schedule : t -> delay:float -> (unit -> unit) -> timer
+(** Run a callback [delay] seconds from now. Negative delays are clamped
+    to zero (i.e., run "immediately" but still through the queue, after
+    already-pending events at the current instant). *)
+
+val cancel : timer -> unit
+(** Cancelling an already-fired or already-cancelled timer is a no-op. *)
+
+val is_pending : timer -> bool
+
+val run : ?until:float -> t -> unit
+(** Process events in timestamp order until the queue empties or the clock
+    would pass [until] (events at exactly [until] are processed). *)
+
+val step : t -> bool
+(** Process a single event; [false] when the queue is empty. *)
+
+val pending_events : t -> int
+
+val processed_events : t -> int
+(** Total events executed since creation (performance diagnostics). *)

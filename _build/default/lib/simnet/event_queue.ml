@@ -1,0 +1,76 @@
+type 'a entry = { time : float; seq : int; payload : 'a }
+
+type 'a t = {
+  mutable heap : 'a entry array;  (* length 0 until the first push *)
+  mutable len : int;
+  mutable next_seq : int;
+}
+
+let create () = { heap = [||]; len = 0; next_seq = 0 }
+
+let earlier a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+(* The array is grown (and initially created) using a live entry as filler,
+   so no out-of-band dummy value is ever needed. Vacated slots keep their
+   stale entry; they are beyond [len] and never observed. *)
+let ensure_capacity t filler =
+  if t.len = Array.length t.heap then begin
+    let cap = max 64 (2 * Array.length t.heap) in
+    let bigger = Array.make cap filler in
+    Array.blit t.heap 0 bigger 0 t.len;
+    t.heap <- bigger
+  end
+
+let push t ~time payload =
+  let e = { time; seq = t.next_seq; payload } in
+  t.next_seq <- t.next_seq + 1;
+  ensure_capacity t e;
+  let h = t.heap in
+  let i = ref t.len in
+  t.len <- t.len + 1;
+  h.(!i) <- e;
+  let continue = ref true in
+  while !continue && !i > 0 do
+    let parent = (!i - 1) / 2 in
+    if earlier h.(!i) h.(parent) then begin
+      let tmp = h.(parent) in
+      h.(parent) <- h.(!i);
+      h.(!i) <- tmp;
+      i := parent
+    end
+    else continue := false
+  done
+
+let pop t =
+  if t.len = 0 then None
+  else begin
+    let h = t.heap in
+    let top = h.(0) in
+    t.len <- t.len - 1;
+    h.(0) <- h.(t.len);
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let smallest = ref !i in
+      if l < t.len && earlier h.(l) h.(!smallest) then smallest := l;
+      if r < t.len && earlier h.(r) h.(!smallest) then smallest := r;
+      if !smallest <> !i then begin
+        let tmp = h.(!smallest) in
+        h.(!smallest) <- h.(!i);
+        h.(!i) <- tmp;
+        i := !smallest
+      end
+      else continue := false
+    done;
+    Some (top.time, top.payload)
+  end
+
+let peek_time t = if t.len = 0 then None else Some t.heap.(0).time
+
+let size t = t.len
+let is_empty t = t.len = 0
+
+let clear t =
+  t.heap <- [||];
+  t.len <- 0

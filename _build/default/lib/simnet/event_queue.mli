@@ -1,0 +1,19 @@
+(** A binary min-heap of timestamped events, the core of the discrete-event
+    engine. Ties on time are broken by insertion order, so execution is
+    fully deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val push : 'a t -> time:float -> 'a -> unit
+
+val pop : 'a t -> (float * 'a) option
+(** Remove and return the earliest event, or [None] when empty. *)
+
+val peek_time : 'a t -> float option
+
+val size : 'a t -> int
+val is_empty : 'a t -> bool
+
+val clear : 'a t -> unit

@@ -1,0 +1,24 @@
+type t =
+  | Constant of float
+  | Uniform of { lo : float; hi : float }
+  | Lognormalish of { base : float; jitter : float }
+
+let sample t rng =
+  let v =
+    match t with
+    | Constant d -> d
+    | Uniform { lo; hi } -> lo +. Rng.float rng (hi -. lo)
+    | Lognormalish { base; jitter } -> base +. Rng.exponential rng ~mean:jitter
+  in
+  if v < 0.0 then 0.0 else v
+
+let mean = function
+  | Constant d -> d
+  | Uniform { lo; hi } -> (lo +. hi) /. 2.0
+  | Lognormalish { base; jitter } -> base +. jitter
+
+let pp fmt = function
+  | Constant d -> Format.fprintf fmt "constant(%gs)" d
+  | Uniform { lo; hi } -> Format.fprintf fmt "uniform(%g-%gs)" lo hi
+  | Lognormalish { base; jitter } ->
+      Format.fprintf fmt "lognormalish(base=%gs jitter=%gs)" base jitter

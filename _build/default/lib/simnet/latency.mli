@@ -1,0 +1,21 @@
+(** One-way network latency models.
+
+    The paper's testbed is a single cloud region (c2 VMs); its §IV-I
+    simulation sweeps fixed message delays of 10/20/40 ms. Both styles are
+    expressible here. *)
+
+type t =
+  | Constant of float
+      (** Every message takes exactly this many seconds (Fig. 11 style). *)
+  | Uniform of { lo : float; hi : float }
+  | Lognormalish of { base : float; jitter : float }
+      (** [base] plus an exponential tail with mean [jitter]: a common
+          intra-datacenter shape — tight body, occasional stragglers. *)
+
+val sample : t -> Rng.t -> float
+(** Draw a one-way delay in seconds; never negative. *)
+
+val mean : t -> float
+(** Expected delay, used by experiments to derive sensible timeouts. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,108 @@
+type 'msg t = {
+  engine : Engine.t;
+  n_nodes : int;
+  latency : Latency.t;
+  bandwidth : float option;
+  loss_probability : float;
+  rng : Rng.t;
+  handlers : (src:int -> bytes:int -> 'msg -> unit) option array;
+  crashed : bool array;
+  nic_free_at : float array;   (* when each node's outgoing NIC frees up *)
+  blocked : (int * int, unit) Hashtbl.t;
+  mutable sent_messages : int;
+  mutable sent_bytes : int;
+  mutable dropped_messages : int;
+}
+
+let create ~engine ~n_nodes ~latency ?(bandwidth_bytes_per_s = None)
+    ?(loss_probability = 0.0) () =
+  if n_nodes <= 0 then invalid_arg "Network.create";
+  {
+    engine;
+    n_nodes;
+    latency;
+    bandwidth = bandwidth_bytes_per_s;
+    loss_probability;
+    rng = Rng.split (Engine.rng engine);
+    handlers = Array.make n_nodes None;
+    crashed = Array.make n_nodes false;
+    nic_free_at = Array.make n_nodes 0.0;
+    blocked = Hashtbl.create 16;
+    sent_messages = 0;
+    sent_bytes = 0;
+    dropped_messages = 0;
+  }
+
+let n_nodes t = t.n_nodes
+let engine t = t.engine
+
+let check_node t id =
+  if id < 0 || id >= t.n_nodes then invalid_arg "Network: bad node id"
+
+let set_handler t id handler =
+  check_node t id;
+  t.handlers.(id) <- Some handler
+
+let deliver t ~src ~dst ~bytes msg =
+  if t.crashed.(dst) then t.dropped_messages <- t.dropped_messages + 1
+  else
+    match t.handlers.(dst) with
+    | None -> t.dropped_messages <- t.dropped_messages + 1
+    | Some handler -> handler ~src ~bytes msg
+
+let send t ~src ~dst ~bytes msg =
+  check_node t src;
+  check_node t dst;
+  if t.crashed.(src) || Hashtbl.mem t.blocked (src, dst) then
+    t.dropped_messages <- t.dropped_messages + 1
+  else if t.loss_probability > 0.0 && Rng.bool t.rng ~p:t.loss_probability then begin
+    t.sent_messages <- t.sent_messages + 1;
+    t.sent_bytes <- t.sent_bytes + bytes;
+    t.dropped_messages <- t.dropped_messages + 1
+  end
+  else begin
+    t.sent_messages <- t.sent_messages + 1;
+    t.sent_bytes <- t.sent_bytes + bytes;
+    let now = Engine.now t.engine in
+    let departure =
+      match t.bandwidth with
+      | None -> now
+      | Some bw ->
+          (* The NIC serializes outgoing messages one after another. *)
+          let start = Float.max now t.nic_free_at.(src) in
+          let finish = start +. (float_of_int bytes /. bw) in
+          t.nic_free_at.(src) <- finish;
+          finish
+    in
+    let arrival = departure +. Latency.sample t.latency t.rng in
+    ignore
+      (Engine.schedule t.engine ~delay:(arrival -. now) (fun () ->
+           deliver t ~src ~dst ~bytes msg))
+  end
+
+let crash t id =
+  check_node t id;
+  t.crashed.(id) <- true
+
+let recover t id =
+  check_node t id;
+  t.crashed.(id) <- false
+
+let is_crashed t id =
+  check_node t id;
+  t.crashed.(id)
+
+let block_link t ~src ~dst = Hashtbl.replace t.blocked (src, dst) ()
+
+let unblock_link t ~src ~dst = Hashtbl.remove t.blocked (src, dst)
+
+let heal_partitions t = Hashtbl.reset t.blocked
+
+let sent_messages t = t.sent_messages
+let sent_bytes t = t.sent_bytes
+let dropped_messages t = t.dropped_messages
+
+let reset_counters t =
+  t.sent_messages <- 0;
+  t.sent_bytes <- 0;
+  t.dropped_messages <- 0

@@ -1,0 +1,52 @@
+(* splitmix64: tiny state, excellent statistical quality for simulation use,
+   and trivially splittable. *)
+
+type t = { mutable state : int64 }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let create seed = { state = Int64.of_int seed }
+
+let int64 t =
+  t.state <- Int64.add t.state golden;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let split t = { state = int64 t }
+
+let copy t = { state = t.state }
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int";
+  (* Take the low 62 bits to get a non-negative OCaml int, then reject-free
+     modulo (bias is negligible for simulation bounds << 2^62). *)
+  let v = Int64.to_int (Int64.shift_right_logical (int64 t) 2) in
+  v mod bound
+
+let float t bound =
+  (* 53 random bits into [0,1). *)
+  let bits = Int64.to_int (Int64.shift_right_logical (int64 t) 11) in
+  float_of_int bits /. 9007199254740992.0 *. bound
+
+let bool t ~p = float t 1.0 < p
+
+let exponential t ~mean =
+  let u = float t 1.0 in
+  (* Guard against log 0. *)
+  let u = if u <= 0.0 then 1e-12 else u in
+  -.mean *. log u
+
+let gaussian t ~mu ~sigma =
+  let u1 = float t 1.0 and u2 = float t 1.0 in
+  let u1 = if u1 <= 0.0 then 1e-12 else u1 in
+  mu +. (sigma *. sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2))
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done

@@ -1,0 +1,1 @@
+lib/store/kv_store.ml: Format Hashtbl List Printf String

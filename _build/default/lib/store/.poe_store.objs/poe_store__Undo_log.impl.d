@@ -1,0 +1,1 @@
+lib/store/undo_log.ml: Kv_store List

@@ -1,0 +1,1 @@
+lib/store/undo_log.mli: Kv_store

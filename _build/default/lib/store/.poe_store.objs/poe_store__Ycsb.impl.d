@@ -1,0 +1,1 @@
+lib/store/ycsb.ml: Kv_store Poe_simnet Printf String Zipf

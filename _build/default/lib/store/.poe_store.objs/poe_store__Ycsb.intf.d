@@ -1,0 +1,1 @@
+lib/store/ycsb.mli: Kv_store Poe_simnet

@@ -1,0 +1,1 @@
+lib/store/zipf.ml: Float Poe_simnet

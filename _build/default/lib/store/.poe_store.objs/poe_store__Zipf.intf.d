@@ -1,0 +1,1 @@
+lib/store/zipf.mli: Poe_simnet

@@ -1,0 +1,60 @@
+type entry = { seqno : int; undos : Kv_store.undo list }
+
+type t = {
+  store : Kv_store.t;
+  mutable log : entry list;       (* most recent first *)
+  mutable durable_upto : int;     (* checkpointed; cannot roll back past *)
+}
+
+let create store = { store; log = []; durable_upto = -1 }
+
+let store t = t.store
+
+let record t ~seqno undos =
+  (match t.log with
+  | { seqno = last; _ } :: _ when seqno <= last ->
+      invalid_arg "Undo_log.record: non-increasing seqno"
+  | _ when seqno <= t.durable_upto ->
+      invalid_arg "Undo_log.record: seqno already truncated"
+  | _ -> ());
+  t.log <- { seqno; undos } :: t.log
+
+let last_seqno t =
+  match t.log with [] -> None | { seqno; _ } :: _ -> Some seqno
+
+let rollback_to t ~seqno =
+  if seqno < t.durable_upto then
+    invalid_arg "Undo_log.rollback_to: before checkpoint";
+  let rec go count = function
+    | { seqno = s; undos } :: rest when s > seqno ->
+        (* Undos were recorded in application order; revert them backwards. *)
+        List.iter (Kv_store.revert t.store) (List.rev undos);
+        go (count + 1) rest
+    | remaining ->
+        t.log <- remaining;
+        count
+  in
+  go 0 t.log
+
+let truncate t ~upto =
+  if upto > t.durable_upto then begin
+    t.durable_upto <- upto;
+    t.log <- List.filter (fun e -> e.seqno > upto) t.log
+  end
+
+let truncation_point t = t.durable_upto
+
+let entries t = List.length t.log
+
+let stable_state t =
+  let clone = Kv_store.copy t.store in
+  (* Entries are newest-first; within an entry, undos were recorded in
+     application order. *)
+  List.iter
+    (fun e -> List.iter (Kv_store.revert clone) (List.rev e.undos))
+    t.log;
+  clone
+
+let reset_to t ~seqno =
+  t.log <- [];
+  t.durable_upto <- max t.durable_upto seqno

@@ -1,0 +1,48 @@
+(** LIFO log of applied transactions supporting rollback to a sequence
+    number.
+
+    PoE replicas execute speculatively: a transaction may have to be
+    reverted if the view-change reveals it was never committed (Fig. 5,
+    line 14). The log records, per sequence number, the undo records of
+    the batch executed at that sequence number; [rollback_to] reverts whole
+    batches in reverse order. A periodic checkpoint ({!truncate}) discards
+    entries that can no longer be rolled back. *)
+
+type t
+
+val create : Kv_store.t -> t
+
+val store : t -> Kv_store.t
+
+val record : t -> seqno:int -> Kv_store.undo list -> unit
+(** Log the undos of the batch executed at [seqno] (in application order;
+    the log reverts them in reverse). Sequence numbers must be recorded in
+    strictly increasing order.
+    @raise Invalid_argument otherwise. *)
+
+val last_seqno : t -> int option
+(** Highest recorded sequence number still in the log. *)
+
+val rollback_to : t -> seqno:int -> int
+(** Revert every recorded batch with sequence number strictly greater than
+    [seqno], most recent first; returns how many batches were reverted.
+    @raise Invalid_argument if [seqno] precedes the truncation point (the
+    state needed is gone). *)
+
+val truncate : t -> upto:int -> unit
+(** Drop undo information for sequence numbers [<= upto] — the checkpoint
+    made them durable, so they will never be rolled back. *)
+
+val truncation_point : t -> int
+(** Highest sequence number made durable ([-1] initially). *)
+
+val entries : t -> int
+
+val stable_state : t -> Kv_store.t
+(** A clone of the store with every logged (not-yet-durable) batch
+    reverted: the state as of the truncation point — what a checkpoint
+    snapshot must ship, since anything above it may still roll back. *)
+
+val reset_to : t -> seqno:int -> unit
+(** Drop all log entries and mark everything up to [seqno] durable (after
+    installing a snapshot at [seqno]). *)

@@ -1,0 +1,32 @@
+(** YCSB-style workload generator (Blockbench macro benchmark profile).
+
+    The paper's configuration: a table of 500k active records, 90% write
+    queries, Zipfian key skew 0.9. Clients draw operations from here and
+    submit them as transactions. *)
+
+type profile = {
+  records : int;        (** rows in the table *)
+  write_proportion : float;  (** fraction of Update ops; the rest are Reads *)
+  value_bytes : int;    (** payload carried by each write *)
+  theta : float;        (** Zipfian skew *)
+}
+
+val paper_profile : profile
+(** 500_000 records, 0.9 writes, 0.9 skew — as in §IV. The value size is
+    chosen so a 100-transaction batch is near the paper's 5400 B PROPOSE. *)
+
+val small_profile : profile
+(** A scaled-down profile for tests and examples (1_000 records). *)
+
+type t
+
+val create : profile -> t
+
+val profile : t -> profile
+
+val generate : t -> Poe_simnet.Rng.t -> Kv_store.op
+(** Draw one operation: key by Zipf rank, op type by write proportion.
+    Write values embed a draw-unique nonce so distinct transactions differ. *)
+
+val populate : t -> Kv_store.t -> unit
+(** Load the table that {!generate} draws keys from. *)

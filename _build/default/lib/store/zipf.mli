@@ -1,0 +1,18 @@
+(** Zipfian rank generator, as used by YCSB.
+
+    The paper's workload draws keys from a Zipfian distribution with skew
+    0.9 over half a million records. This is the standard YCSB generator
+    (rejection-free method with precomputed zeta constants). *)
+
+type t
+
+val create : n:int -> theta:float -> t
+(** [create ~n ~theta] prepares a generator over ranks [0, n). [theta] is
+    the skew in [0, 1); YCSB's default — and the paper's — is 0.9.
+    Setup is O(n) (zeta computation) and done once per workload. *)
+
+val next : t -> Poe_simnet.Rng.t -> int
+(** Draw a rank in [0, n); rank 0 is the most popular. *)
+
+val n : t -> int
+val theta : t -> float

@@ -1,0 +1,1 @@
+lib/zyzzyva/zyzzyva_protocol.ml: Hashtbl List Poe_ledger Poe_runtime String

@@ -1,0 +1,1 @@
+lib/zyzzyva/zyzzyva_protocol.mli: Poe_runtime

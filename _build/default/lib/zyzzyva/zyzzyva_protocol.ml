@@ -1,0 +1,235 @@
+module R = Poe_runtime
+module Config = R.Config
+module Cost = R.Cost
+module Message = R.Message
+module Server = R.Server
+module Ctx = R.Replica_ctx
+module Pipeline = R.Pipeline
+module Exec = R.Exec_engine
+module Recovery = R.Recovery
+module Hub = R.Hub_core
+module Block = Poe_ledger.Block
+
+let name = "zyzzyva"
+
+type Message.t +=
+  | Order_req of { view : int; seqno : int; batch : Message.batch }
+      (** primary → all: the only inter-replica message of the fast path *)
+  | Commit_cert of {
+      seqno : int;
+      digest : string;
+      acks : (int * int) list;  (** (client, rid) being committed *)
+      hub : int;
+    }
+      (** client → all: ≥ nf matching speculative responses, please commit *)
+  | Local_commit of {
+      seqno : int;
+      digest : string;
+      acks : (int * int) list;
+      replica : int;
+    }
+      (** replica → client: acknowledgement of a commit certificate *)
+
+type replica = {
+  ctx : Ctx.t;
+  mutable exec : Exec.t;
+  mutable pipeline : Pipeline.t;
+  mutable recovery : Recovery.t;
+  mutable next_seqno : int;
+  (* Order-reqs that arrived out of order are handled by Exec_engine's
+     in-order pump, so no slot table is needed: speculation has no votes. *)
+}
+
+let ctx t = t.ctx
+let current_view _ = 0
+let k_exec t = Exec.k_exec t.exec
+let cfg t = Ctx.config t.ctx
+let is_primary t = Ctx.id t.ctx = 0
+
+let propose_batch t (batch : Message.batch) =
+  if Ctx.alive t.ctx && is_primary t then begin
+    let seqno = t.next_seqno in
+    t.next_seqno <- seqno + 1;
+    (match Ctx.behavior t.ctx with
+    | Ctx.Honest ->
+        Ctx.broadcast_replicas t.ctx
+          ~bytes:(Message.Wire.propose (cfg t))
+          (Order_req { view = 0; seqno; batch })
+    | Ctx.Silent | Ctx.Stop_proposing -> ()
+    | Ctx.Keep_in_dark dark ->
+        let dsts =
+          List.init (cfg t).Config.n (fun i -> i)
+          |> List.filter (fun i -> i <> Ctx.id t.ctx && not (List.mem i dark))
+        in
+        Ctx.broadcast_to t.ctx ~dsts
+          ~bytes:(Message.Wire.propose (cfg t))
+          (Order_req { view = 0; seqno; batch })
+    | Ctx.Equivocate ->
+        (* Speculative execution makes equivocation visible to clients as
+           non-matching responses; they fall back to the commit path and
+           fail to gather nf — the request stalls, as in the real
+           protocol (whose view-change would then be needed). *)
+        let n = (cfg t).Config.n in
+        let me = Ctx.id t.ctx in
+        let others = List.init n (fun i -> i) |> List.filter (fun i -> i <> me) in
+        let half = List.length others / 2 in
+        let left = List.filteri (fun i _ -> i < half) others in
+        let right = List.filteri (fun i _ -> i >= half) others in
+        let forged =
+          { batch with Message.digest = batch.Message.digest ^ "!equiv" }
+        in
+        let bytes = Message.Wire.propose (cfg t) in
+        Ctx.broadcast_to t.ctx ~dsts:left ~bytes
+          (Order_req { view = 0; seqno; batch });
+        Ctx.broadcast_to t.ctx ~dsts:right ~bytes
+          (Order_req { view = 0; seqno; batch = forged }));
+    Exec.offer t.exec ~seqno ~view:0 ~batch ~proof:Block.No_proof
+  end
+
+let on_order_req t ~src ~seqno (batch : Message.batch) =
+  if src = 0 && not (is_primary t) then begin
+    (* Speculative execution with no partial guarantee whatsoever — the
+       defining difference from PoE's non-divergent speculation. *)
+    let c = Ctx.cost t.ctx in
+    Ctx.work t.ctx Server.Worker
+      ~cost:(Cost.hash_cost c ~bytes:(Message.Wire.propose (cfg t)))
+      (fun () -> Exec.offer t.exec ~seqno ~view:0 ~batch ~proof:Block.No_proof)
+  end
+
+let on_commit_cert t ~seqno ~digest ~acks ~hub =
+  (* Acknowledge iff our speculative history agrees with the certificate
+     (the client collected matching speculative responses, so the digest is
+     the execution-result digest from our INFORM). *)
+  let agrees =
+    match Exec.executed_result t.exec seqno with
+    | Some r -> String.equal r digest
+    | None ->
+        (* Below the stable checkpoint the record is garbage-collected, but
+           a checkpointed slot is agreed by nf replicas — strictly stronger
+           than a local commit. *)
+        seqno <= Exec.stable t.exec
+  in
+  if agrees then
+    Ctx.send_hub t.ctx ~hub ~bytes:Message.Wire.vote
+      (Local_commit { seqno; digest; acks; replica = Ctx.id t.ctx })
+
+let on_client_request t (req : Message.request) =
+  if Exec.was_executed t.exec req then ()
+  else if is_primary t then Pipeline.add_request t.pipeline req
+  else Recovery.watch t.recovery req
+
+let on_executed t ~seqno ~batch =
+  if is_primary t then Pipeline.seqno_closed t.pipeline;
+  Recovery.note_executed t.recovery ~seqno ~batch
+
+let create_replica ctx =
+  let placeholder_exec = Exec.create ~ctx () in
+  let t =
+    {
+      ctx;
+      exec = placeholder_exec;
+      pipeline = Pipeline.create ~ctx ~on_batch:(fun _ -> ()) ();
+      recovery =
+        Recovery.create ~ctx ~exec:placeholder_exec
+          ~primary:(fun () -> 0)
+          ~active:(fun () -> false)
+          ~on_suspect:(fun () -> ())
+          ();
+      next_seqno = 0;
+    }
+  in
+  t.exec <-
+    Exec.create ~ctx
+      ~on_executed:(fun ~seqno ~batch ~result:_ -> on_executed t ~seqno ~batch)
+      ();
+  t.pipeline <-
+    Pipeline.create ~ctx ~on_batch:(fun batch -> propose_batch t batch) ();
+  t.recovery <-
+    Recovery.create ~ctx ~exec:t.exec
+      ~primary:(fun () -> 0)
+      ~active:(fun () -> true)
+        (* No view-change exists: suspicion has nothing to trigger. *)
+      ~on_suspect:(fun () -> ())
+      ();
+  t
+
+let start_replica t = Recovery.start t.recovery
+
+let on_message t ~src msg =
+  if Ctx.alive t.ctx && not (Recovery.on_message t.recovery ~src msg) then
+    match msg with
+    | Message.Client_request req -> on_client_request t req
+    | Message.Client_request_bundle reqs -> List.iter (on_client_request t) reqs
+    | Message.Client_forward req -> on_client_request t req
+    | Order_req { seqno; batch; _ } -> on_order_req t ~src ~seqno batch
+    | Commit_cert { seqno; digest; acks; hub } ->
+        on_commit_cert t ~seqno ~digest ~acks ~hub
+    | _ -> ()
+
+let receive_cost ~src config cost msg =
+  match R.Protocol_intf.client_receive_cost ~src config cost msg with
+  | Some c -> c
+  | None -> (
+      let base = cost.Cost.msg_in in
+      match msg with
+      | Order_req _ ->
+          base +. Cost.auth_verify cost config.Config.replica_scheme
+      | Commit_cert _ ->
+          (* The slow path gives up batching: each per-request certificate
+             carries 2f+1 response signatures the replica must verify —
+             this, not the extra round trip, is what collapses Zyzzyva's
+             throughput under a single failure (§IV-D). *)
+          base
+          +. (float_of_int ((2 * Config.f config) + 1) *. cost.Cost.ds_verify)
+      | _ -> base)
+
+let hub_hooks config =
+  let nf = Config.nf config in
+  (* Per-hub commit-phase bookkeeping: request key -> (request state,
+     local-commit acks per replica). *)
+  let pending :
+      (int * int, Hub.request_state * (int, unit) Hashtbl.t) Hashtbl.t =
+    Hashtbl.create 256
+  in
+  let on_timeout hub (rs : Hub.request_state) =
+    let count, witness = Hub.matching_responses rs in
+    match witness with
+    | Some (_view, seqno, digest) when count >= nf ->
+        (* Slow path: turn the ≥ nf matching speculative responses into a
+           commit certificate and broadcast it. *)
+        let key = (rs.Hub.req.Message.client, rs.Hub.req.Message.rid) in
+        if not (Hashtbl.mem pending key) then
+          Hashtbl.replace pending key (rs, Hashtbl.create 8);
+        Hub.broadcast_replicas hub ~bytes:Message.Wire.vote
+          (Commit_cert
+             { seqno; digest; acks = [ key ]; hub = Hub.hub_index hub })
+    | Some _ | None ->
+        (* Not enough matching responses yet: re-forward so stragglers (or
+           a future view) eventually serve us. *)
+        Hub.forward_to_all hub rs
+  in
+  let on_message hub ~src msg =
+    match msg with
+    | Local_commit { acks; replica; _ } ->
+        ignore src;
+        List.iter
+          (fun key ->
+            match Hashtbl.find_opt pending key with
+            | None -> ()
+            | Some (rs, votes) ->
+                Hashtbl.replace votes replica ();
+                if Hashtbl.length votes >= nf then begin
+                  Hashtbl.remove pending key;
+                  Hub.complete hub rs
+                end)
+          acks;
+        true
+    | _ -> false
+  in
+  {
+    (* Fast path: all n replicas must answer identically. *)
+    Hub.quorum = config.Config.n;
+    send_mode = Hub.To_primary;
+    on_timeout = Some on_timeout;
+    on_message = Some on_message;
+  }

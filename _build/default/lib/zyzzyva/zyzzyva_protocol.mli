@@ -1,0 +1,22 @@
+(** Zyzzyva baseline (Kotla et al.): the fastest possible fault-free path,
+    bought with client-driven ordering.
+
+    Fast path: the primary ORDER-REQs a batch; every replica executes it
+    speculatively {e immediately} — no inter-replica voting at all — and
+    answers the client. The client only accepts a request once {b all n}
+    replicas answered identically, so a single crashed backup stalls every
+    request until the client's timeout.
+
+    Slow path (client-driven): on timeout with at least nf matching
+    speculative responses, the client broadcasts a COMMIT certificate;
+    replicas acknowledge with LOCAL-COMMIT and the client accepts after nf
+    of those.
+
+    As in the paper's evaluation (§IV-A, §IV-H), no view-change is
+    provided: Zyzzyva's published view-change is known to be unsafe
+    (Abraham et al. 2017), and the paper accordingly excludes Zyzzyva from
+    its primary-failure experiment. A primary crash stalls the protocol. *)
+
+include Poe_runtime.Protocol_intf.S
+
+val k_exec : replica -> int

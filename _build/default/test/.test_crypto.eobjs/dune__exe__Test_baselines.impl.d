@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Array Hashtbl List Poe_core Poe_harness Poe_hotstuff Poe_ledger Poe_pbft Poe_runtime Poe_sbft Poe_zyzzyva Printf QCheck QCheck_alcotest

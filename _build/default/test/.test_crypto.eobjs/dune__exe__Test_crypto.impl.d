@@ -1,0 +1,1 @@
+test/test_crypto.ml: Alcotest Array Char Int64 List Poe_crypto Poe_simnet QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_faults.ml: Alcotest Array List Poe_core Poe_harness Poe_hotstuff Poe_pbft Poe_runtime Poe_sbft Poe_simnet Poe_store Printf

@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Array Float List Poe_core Poe_harness Poe_runtime Poe_simnet Printf

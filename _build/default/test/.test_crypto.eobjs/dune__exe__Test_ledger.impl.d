@@ -1,0 +1,1 @@
+test/test_ledger.ml: Alcotest List Poe_crypto Poe_ledger Printf QCheck QCheck_alcotest String

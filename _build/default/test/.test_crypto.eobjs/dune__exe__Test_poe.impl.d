@@ -1,0 +1,1 @@
+test/test_poe.ml: Alcotest Array List Poe_core Poe_harness Poe_ledger Poe_runtime Poe_simnet

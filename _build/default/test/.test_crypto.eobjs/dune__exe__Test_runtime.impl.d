@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Array List Option Poe_ledger Poe_runtime Poe_simnet Poe_store Printf String

@@ -1,0 +1,1 @@
+test/test_simnet.ml: Alcotest Array List Poe_simnet QCheck QCheck_alcotest

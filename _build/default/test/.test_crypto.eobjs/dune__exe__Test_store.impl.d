@@ -1,0 +1,1 @@
+test/test_store.ml: Alcotest Array Format Gen Hashtbl List Poe_simnet Poe_store Printf QCheck QCheck_alcotest String

@@ -1,0 +1,391 @@
+(* Tests for the cryptographic substrate: SHA-256 against FIPS/NIST vectors,
+   HMAC against RFC 4231, field laws for GF(2^61-1), Shamir reconstruction,
+   and the threshold signature scheme's quorum/forgery behaviour. *)
+
+module Sha256 = Poe_crypto.Sha256
+module Hmac = Poe_crypto.Hmac
+module Gf61 = Poe_crypto.Gf61
+module Shamir = Poe_crypto.Shamir
+module Threshold = Poe_crypto.Threshold
+module Keychain = Poe_crypto.Keychain
+
+let hex = Sha256.to_hex
+
+let of_hex s =
+  let n = String.length s / 2 in
+  String.init n (fun i -> Char.chr (int_of_string ("0x" ^ String.sub s (2 * i) 2)))
+
+(* ------------------------------------------------------------------ *)
+(* SHA-256                                                             *)
+
+let sha_vectors =
+  [
+    ("", "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+    ("abc", "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+    ( "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq",
+      "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1" );
+    ( "abcdefghbcdefghicdefghijdefghijkefghijklfghijklmghijklmnhijklmno\
+       ijklmnopjklmnopqklmnopqrlmnopqrsmnopqrstnopqrstu",
+      "cf5b16a778af8380036ce59e7b0492370b249b11e8f07a51afac45037afee9d1" );
+    ( "The quick brown fox jumps over the lazy dog",
+      "d7a8fbb307d7809469ca9abcb0082e4f8d5651e46d3cdb762d02d0bf37c9e592" );
+  ]
+
+let test_sha_vectors () =
+  List.iter
+    (fun (msg, expected) ->
+      Alcotest.(check string) ("sha256 of " ^ msg) expected (hex (Sha256.digest msg)))
+    sha_vectors
+
+let test_sha_million_a () =
+  (* NIST long test: one million 'a' characters. *)
+  let ctx = Sha256.init () in
+  let chunk = String.make 1000 'a' in
+  for _ = 1 to 1000 do
+    Sha256.feed ctx chunk
+  done;
+  Alcotest.(check string) "million a"
+    "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+    (hex (Sha256.finalize ctx))
+
+let test_sha_streaming_equivalence () =
+  (* Arbitrary chunkings hash identically to one-shot. *)
+  let msg = String.init 1000 (fun i -> Char.chr (i mod 256)) in
+  let expected = Sha256.digest msg in
+  List.iter
+    (fun sizes ->
+      let ctx = Sha256.init () in
+      let pos = ref 0 in
+      let rec go sizes =
+        if !pos < String.length msg then begin
+          let k, rest =
+            match sizes with [] -> (64, []) | k :: rest -> (k, rest)
+          in
+          let k = min k (String.length msg - !pos) in
+          Sha256.feed ctx (String.sub msg !pos k);
+          pos := !pos + k;
+          go rest
+        end
+      in
+      go sizes;
+      Alcotest.(check string) "chunked" (hex expected) (hex (Sha256.finalize ctx)))
+    [ [ 1; 2; 3; 500 ]; [ 63 ]; [ 64 ]; [ 65; 1 ]; [ 999 ]; [ 1000 ] ]
+
+let test_sha_digest_list () =
+  Alcotest.(check string) "digest_list = digest of concat"
+    (hex (Sha256.digest "foobarbaz"))
+    (hex (Sha256.digest_list [ "foo"; "bar"; "baz" ]))
+
+(* ------------------------------------------------------------------ *)
+(* HMAC (RFC 4231)                                                     *)
+
+let test_hmac_rfc4231 () =
+  (* Test case 1 *)
+  let key = String.make 20 '\x0b' in
+  Alcotest.(check string) "rfc4231 tc1"
+    "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+    (hex (Hmac.mac ~key "Hi There"));
+  (* Test case 2: short key "Jefe" *)
+  Alcotest.(check string) "rfc4231 tc2"
+    "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+    (hex (Hmac.mac ~key:"Jefe" "what do ya want for nothing?"));
+  (* Test case 3: 20 x 0xaa key, 50 x 0xdd data *)
+  Alcotest.(check string) "rfc4231 tc3"
+    "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe"
+    (hex (Hmac.mac ~key:(String.make 20 '\xaa') (String.make 50 '\xdd')));
+  (* Test case 6: 131-byte key (> block size, must be hashed) *)
+  Alcotest.(check string) "rfc4231 tc6"
+    "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+    (hex
+       (Hmac.mac
+          ~key:(String.make 131 '\xaa')
+          "Test Using Larger Than Block-Size Key - Hash Key First"))
+
+let test_hmac_verify () =
+  let key = "secret" and msg = "message" in
+  let tag = Hmac.mac ~key msg in
+  Alcotest.(check bool) "accepts valid" true (Hmac.verify ~key msg ~tag);
+  Alcotest.(check bool) "rejects wrong msg" false (Hmac.verify ~key "other" ~tag);
+  Alcotest.(check bool) "rejects wrong key" false
+    (Hmac.verify ~key:"wrong" msg ~tag);
+  let corrupted = of_hex (hex tag) in
+  let corrupted =
+    String.mapi (fun i c -> if i = 0 then Char.chr (Char.code c lxor 1) else c)
+      corrupted
+  in
+  Alcotest.(check bool) "rejects bit flip" false
+    (Hmac.verify ~key msg ~tag:corrupted);
+  Alcotest.(check bool) "rejects truncated" false
+    (Hmac.verify ~key msg ~tag:(String.sub tag 0 16))
+
+let test_hmac_truncated () =
+  let key = "k" and msg = "m" in
+  let full = Hmac.mac ~key msg in
+  Alcotest.(check string) "prefix" (String.sub full 0 8) (Hmac.truncated ~key msg 8);
+  Alcotest.check_raises "zero length" (Invalid_argument "Hmac.truncated")
+    (fun () -> ignore (Hmac.truncated ~key msg 0))
+
+(* ------------------------------------------------------------------ *)
+(* GF(2^61 - 1)                                                        *)
+
+let gf_gen =
+  QCheck.map
+    (fun x -> Gf61.of_int (abs x))
+    QCheck.(int_bound max_int |> map (fun x -> x))
+
+let gf3 = QCheck.triple gf_gen gf_gen gf_gen
+
+let gf_qcheck =
+  [
+    QCheck.Test.make ~name:"add commutative" ~count:1000
+      (QCheck.pair gf_gen gf_gen)
+      (fun (a, b) -> Gf61.equal (Gf61.add a b) (Gf61.add b a));
+    QCheck.Test.make ~name:"mul commutative" ~count:1000
+      (QCheck.pair gf_gen gf_gen)
+      (fun (a, b) -> Gf61.equal (Gf61.mul a b) (Gf61.mul b a));
+    QCheck.Test.make ~name:"add associative" ~count:1000 gf3 (fun (a, b, c) ->
+        Gf61.equal (Gf61.add a (Gf61.add b c)) (Gf61.add (Gf61.add a b) c));
+    QCheck.Test.make ~name:"mul associative" ~count:1000 gf3 (fun (a, b, c) ->
+        Gf61.equal (Gf61.mul a (Gf61.mul b c)) (Gf61.mul (Gf61.mul a b) c));
+    QCheck.Test.make ~name:"distributivity" ~count:1000 gf3 (fun (a, b, c) ->
+        Gf61.equal (Gf61.mul a (Gf61.add b c))
+          (Gf61.add (Gf61.mul a b) (Gf61.mul a c)));
+    QCheck.Test.make ~name:"additive inverse" ~count:1000 gf_gen (fun a ->
+        Gf61.equal (Gf61.add a (Gf61.neg a)) Gf61.zero);
+    QCheck.Test.make ~name:"subtraction" ~count:1000
+      (QCheck.pair gf_gen gf_gen)
+      (fun (a, b) -> Gf61.equal (Gf61.sub a b) (Gf61.add a (Gf61.neg b)));
+    QCheck.Test.make ~name:"multiplicative inverse" ~count:500 gf_gen (fun a ->
+        QCheck.assume (not (Gf61.equal a Gf61.zero));
+        Gf61.equal (Gf61.mul a (Gf61.inv a)) Gf61.one);
+    QCheck.Test.make ~name:"pow matches repeated mul" ~count:200
+      (QCheck.pair gf_gen (QCheck.int_bound 30))
+      (fun (a, e) ->
+        let rec naive acc i = if i = 0 then acc else naive (Gf61.mul acc a) (i - 1) in
+        Gf61.equal (Gf61.pow a e) (naive Gf61.one e));
+    QCheck.Test.make ~name:"canonical range" ~count:1000
+      QCheck.(pair int int)
+      (fun (a, b) ->
+        let s = Gf61.add (Gf61.of_int a) (Gf61.of_int b) in
+        Gf61.to_int s >= 0 && Gf61.to_int s < Gf61.p);
+  ]
+
+let test_gf_edge_cases () =
+  let pm1 = Gf61.of_int (Gf61.p - 1) in
+  Alcotest.(check bool) "(p-1)+1 = 0" true
+    (Gf61.equal (Gf61.add pm1 Gf61.one) Gf61.zero);
+  Alcotest.(check bool) "(p-1)^2 = 1" true
+    (Gf61.equal (Gf61.mul pm1 pm1) Gf61.one);
+  Alcotest.(check bool) "of_int p = 0" true
+    (Gf61.equal (Gf61.of_int Gf61.p) Gf61.zero);
+  Alcotest.(check bool) "of_int (-1) = p-1" true
+    (Gf61.equal (Gf61.of_int (-1)) pm1);
+  Alcotest.check_raises "inv 0" Division_by_zero (fun () ->
+      ignore (Gf61.inv Gf61.zero))
+
+(* ------------------------------------------------------------------ *)
+(* Shamir                                                              *)
+
+let mk_rng seed =
+  let rng = Poe_simnet.Rng.create seed in
+  fun () -> Gf61.of_int (abs (Int64.to_int (Poe_simnet.Rng.int64 rng)))
+
+let shamir_qcheck =
+  [
+    QCheck.Test.make ~name:"any threshold-sized subset reconstructs" ~count:100
+      (QCheck.triple (QCheck.int_range 1 8) (QCheck.int_range 0 20)
+         QCheck.small_nat)
+      (fun (threshold, extra, secret_raw) ->
+        let shares_n = threshold + extra in
+        let secret = Gf61.of_int secret_raw in
+        let shares =
+          Shamir.split ~secret ~threshold ~shares:shares_n
+            ~rand:(mk_rng (threshold + extra))
+        in
+        (* Take an arbitrary subset of exactly [threshold] shares. *)
+        let subset =
+          Array.to_list shares
+          |> List.filteri (fun i _ -> i mod (extra + 1) = 0 || i < threshold)
+          |> List.filteri (fun i _ -> i < threshold)
+        in
+        Gf61.equal (Shamir.reconstruct subset) secret);
+  ]
+
+let test_shamir_basic () =
+  let secret = Gf61.of_int 123456789 in
+  let shares =
+    Shamir.split ~secret ~threshold:3 ~shares:5 ~rand:(mk_rng 42)
+  in
+  Alcotest.(check int) "5 shares" 5 (Array.length shares);
+  (* All 5, first 3, last 3 all reconstruct. *)
+  let all = Array.to_list shares in
+  Alcotest.(check bool) "all" true (Gf61.equal (Shamir.reconstruct all) secret);
+  let first3 = [ shares.(0); shares.(1); shares.(2) ] in
+  Alcotest.(check bool) "first 3" true
+    (Gf61.equal (Shamir.reconstruct first3) secret);
+  let last3 = [ shares.(2); shares.(3); shares.(4) ] in
+  Alcotest.(check bool) "last 3" true
+    (Gf61.equal (Shamir.reconstruct last3) secret);
+  (* Fewer than threshold gives (with overwhelming probability) garbage. *)
+  let two = [ shares.(0); shares.(1) ] in
+  Alcotest.(check bool) "2 shares do not reconstruct" false
+    (Gf61.equal (Shamir.reconstruct two) secret)
+
+let test_shamir_validation () =
+  let secret = Gf61.of_int 7 in
+  Alcotest.check_raises "threshold > shares"
+    (Invalid_argument "Shamir.split") (fun () ->
+      ignore (Shamir.split ~secret ~threshold:4 ~shares:3 ~rand:(mk_rng 1)));
+  let shares = Shamir.split ~secret ~threshold:2 ~shares:3 ~rand:(mk_rng 2) in
+  Alcotest.check_raises "duplicate indices"
+    (Invalid_argument "Shamir: duplicate share indices") (fun () ->
+      ignore (Shamir.reconstruct [ shares.(0); shares.(0) ]));
+  Alcotest.check_raises "empty" (Invalid_argument "Shamir: no shares")
+    (fun () -> ignore (Shamir.reconstruct []))
+
+(* ------------------------------------------------------------------ *)
+(* Threshold signatures                                                *)
+
+let test_threshold_roundtrip () =
+  let scheme, signers = Threshold.setup ~n:7 ~threshold:5 ~seed:"s" in
+  let msg = "propose|42" in
+  let shares =
+    Array.to_list signers |> List.map (fun s -> Threshold.sign_share s msg)
+  in
+  (* Exactly threshold shares combine and verify. *)
+  let five = List.filteri (fun i _ -> i < 5) shares in
+  (match Threshold.combine scheme ~msg five with
+  | Ok sigma ->
+      Alcotest.(check bool) "verifies" true (Threshold.verify scheme ~msg sigma);
+      Alcotest.(check bool) "wrong msg fails" false
+        (Threshold.verify scheme ~msg:"other" sigma);
+      (* Any other quorum yields the same signature. *)
+      let last_five = List.filteri (fun i _ -> i >= 2) shares in
+      (match Threshold.combine scheme ~msg last_five with
+      | Ok sigma' ->
+          Alcotest.(check string) "deterministic aggregate"
+            (Threshold.signature_bytes sigma)
+            (Threshold.signature_bytes sigma')
+      | Error e -> Alcotest.fail e)
+  | Error e -> Alcotest.fail e);
+  (* Too few shares are rejected. *)
+  (match Threshold.combine scheme ~msg (List.filteri (fun i _ -> i < 4) shares) with
+  | Ok _ -> Alcotest.fail "combined with too few shares"
+  | Error _ -> ())
+
+let test_threshold_share_verification () =
+  let scheme, signers = Threshold.setup ~n:4 ~threshold:3 ~seed:"x" in
+  let msg = "m" in
+  let good = Threshold.sign_share signers.(0) msg in
+  Alcotest.(check bool) "valid share accepted" true
+    (Threshold.verify_share scheme ~msg good);
+  Alcotest.(check bool) "share bound to message" false
+    (Threshold.verify_share scheme ~msg:"other" good);
+  let forged = Threshold.forge_share ~index:1 msg in
+  Alcotest.(check bool) "forged share rejected" false
+    (Threshold.verify_share scheme ~msg forged);
+  (* A forged share poisons combination. *)
+  let shares = [ good; Threshold.sign_share signers.(2) msg; forged ] in
+  (match Threshold.combine scheme ~msg shares with
+  | Ok _ -> Alcotest.fail "combined with forged share"
+  | Error _ -> ());
+  (* Duplicate signers rejected. *)
+  match Threshold.combine scheme ~msg [ good; good; good ] with
+  | Ok _ -> Alcotest.fail "combined duplicates"
+  | Error _ -> ()
+
+let test_threshold_serialization () =
+  let scheme, signers = Threshold.setup ~n:4 ~threshold:3 ~seed:"y" in
+  let msg = "serialize me" in
+  let shares =
+    Array.to_list signers |> List.map (fun s -> Threshold.sign_share s msg)
+  in
+  match Threshold.combine scheme ~msg (List.filteri (fun i _ -> i < 3) shares) with
+  | Error e -> Alcotest.fail e
+  | Ok sigma -> (
+      let bytes = Threshold.signature_bytes sigma in
+      Alcotest.(check int) "8 bytes" 8 (String.length bytes);
+      match Threshold.signature_of_bytes bytes with
+      | Some sigma' ->
+          Alcotest.(check bool) "roundtrip verifies" true
+            (Threshold.verify scheme ~msg sigma');
+          Alcotest.(check bool) "garbage rejected" true
+            (Threshold.signature_of_bytes "toolong--" = None)
+      | None -> Alcotest.fail "deserialization failed")
+
+let threshold_qcheck =
+  [
+    QCheck.Test.make ~name:"any nf-subset combines to a valid signature"
+      ~count:50
+      (QCheck.pair (QCheck.int_range 4 10) QCheck.small_string)
+      (fun (n, msg) ->
+        let threshold = n - ((n - 1) / 3) in
+        let scheme, signers = Threshold.setup ~n ~threshold ~seed:"q" in
+        let shares =
+          Array.to_list signers |> List.map (fun s -> Threshold.sign_share s msg)
+        in
+        let subset = List.filteri (fun i _ -> i < threshold) shares in
+        match Threshold.combine scheme ~msg subset with
+        | Ok sigma -> Threshold.verify scheme ~msg sigma
+        | Error _ -> false);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Keychain                                                            *)
+
+let test_keychain () =
+  let kc = Keychain.create ~n_replicas:4 ~n_clients:2 ~seed:"kc" in
+  let r0 = Keychain.Replica 0 and r1 = Keychain.Replica 1 in
+  let c0 = Keychain.Client 0 in
+  let tag = Keychain.mac kc ~src:r0 ~dst:r1 "hello" in
+  Alcotest.(check bool) "mac verifies" true
+    (Keychain.check_mac kc ~src:r0 ~dst:r1 "hello" ~tag);
+  Alcotest.(check bool) "mac symmetric in endpoints" true
+    (Keychain.check_mac kc ~src:r1 ~dst:r0 "hello" ~tag);
+  Alcotest.(check bool) "other pair rejects" false
+    (Keychain.check_mac kc ~src:r0 ~dst:c0 "hello" ~tag);
+  let sig_ = Keychain.sign kc ~signer:c0 "req" in
+  Alcotest.(check bool) "signature verifies" true
+    (Keychain.check_sign kc ~signer:c0 "req" ~tag:sig_);
+  Alcotest.(check bool) "not forgeable as other signer" false
+    (Keychain.check_sign kc ~signer:r0 "req" ~tag:sig_);
+  Alcotest.check_raises "unknown node"
+    (Invalid_argument "Keychain: unknown node") (fun () ->
+      ignore (Keychain.mac kc ~src:(Keychain.Replica 9) ~dst:r0 "x"))
+
+let () =
+  Alcotest.run "crypto"
+    [
+      ( "sha256",
+        [
+          Alcotest.test_case "nist vectors" `Quick test_sha_vectors;
+          Alcotest.test_case "million a" `Slow test_sha_million_a;
+          Alcotest.test_case "streaming equivalence" `Quick
+            test_sha_streaming_equivalence;
+          Alcotest.test_case "digest_list" `Quick test_sha_digest_list;
+        ] );
+      ( "hmac",
+        [
+          Alcotest.test_case "rfc4231 vectors" `Quick test_hmac_rfc4231;
+          Alcotest.test_case "verify" `Quick test_hmac_verify;
+          Alcotest.test_case "truncated" `Quick test_hmac_truncated;
+        ] );
+      ( "gf61",
+        Alcotest.test_case "edge cases" `Quick test_gf_edge_cases
+        :: List.map QCheck_alcotest.to_alcotest gf_qcheck );
+      ( "shamir",
+        [
+          Alcotest.test_case "basic" `Quick test_shamir_basic;
+          Alcotest.test_case "validation" `Quick test_shamir_validation;
+        ]
+        @ List.map QCheck_alcotest.to_alcotest shamir_qcheck );
+      ( "threshold",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_threshold_roundtrip;
+          Alcotest.test_case "share verification" `Quick
+            test_threshold_share_verification;
+          Alcotest.test_case "serialization" `Quick test_threshold_serialization;
+        ]
+        @ List.map QCheck_alcotest.to_alcotest threshold_qcheck );
+      ("keychain", [ Alcotest.test_case "macs and signatures" `Quick test_keychain ]);
+    ]

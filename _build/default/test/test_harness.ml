@@ -1,0 +1,242 @@
+(* Tests for the experiment harness: the upper-bound characterization, the
+   cluster assembly invariants, and small-scale versions of each paper
+   experiment checking structure and direction (the full-scale shape
+   comparison lives in EXPERIMENTS.md / bench). *)
+
+module R = Poe_runtime
+module Config = R.Config
+module Cluster = Poe_harness.Cluster
+module E = Poe_harness.Experiments
+module Upper_bound = Poe_harness.Upper_bound
+
+(* ------------------------------------------------------------------ *)
+(* Upper bound (Fig. 7 machinery)                                      *)
+
+let test_upper_bound_direction () =
+  let no_exec = Upper_bound.run ~clients:20_000 ~measure:0.8 ~execute:false () in
+  let exec = Upper_bound.run ~clients:20_000 ~measure:0.8 ~execute:true () in
+  Alcotest.(check bool) "both make progress" true
+    (no_exec.Upper_bound.throughput > 0.0 && exec.Upper_bound.throughput > 0.0);
+  Alcotest.(check bool) "execution costs throughput" true
+    (exec.Upper_bound.throughput < no_exec.Upper_bound.throughput);
+  Alcotest.(check bool) "latency ordering follows" true
+    (exec.Upper_bound.latency >= no_exec.Upper_bound.latency)
+
+(* ------------------------------------------------------------------ *)
+(* Cluster assembly                                                    *)
+
+let test_cluster_shape () =
+  let config =
+    Config.make ~n:5 ~n_hubs:3 ~clients_per_hub:2 ~materialize:true ()
+  in
+  let module C = Cluster.Make (Poe_core.Poe_protocol) in
+  let c = C.build { (Cluster.default_params ~config) with warmup = 0.1; measure = 0.4 } in
+  Alcotest.(check int) "replica count" 5 (Array.length c.C.replicas);
+  Alcotest.(check int) "hub count" 3 (Array.length c.C.hubs);
+  Array.iteri
+    (fun i r ->
+      Alcotest.(check int) "ids in order" i
+        (R.Replica_ctx.id (Poe_core.Poe_protocol.ctx r)))
+    c.C.replicas;
+  C.run c;
+  Alcotest.(check bool) "ran to the horizon" true
+    (Poe_simnet.Engine.now c.C.engine >= 0.5)
+
+let test_cluster_network_counters () =
+  let config = Config.make ~n:4 ~clients_per_hub:10 () in
+  let module C = Cluster.Make (Poe_core.Poe_protocol) in
+  let c = C.build { (Cluster.default_params ~config) with warmup = 0.1; measure = 0.4 } in
+  C.run c;
+  Alcotest.(check bool) "messages flowed" true
+    (Poe_simnet.Network.sent_messages c.C.net > 100);
+  Alcotest.(check bool) "bytes accounted" true
+    (Poe_simnet.Network.sent_bytes c.C.net
+    > Poe_simnet.Network.sent_messages c.C.net)
+
+(* ------------------------------------------------------------------ *)
+(* Experiments (small scale, structural + directional checks)          *)
+
+let tput series proto =
+  match
+    List.find_opt (fun p -> p.E.protocol = proto) series.E.points
+  with
+  | Some p -> p.E.throughput
+  | None -> Alcotest.failf "missing protocol %s in %s" proto series.E.figure
+
+let test_fig7_structure () =
+  let s = E.fig7_upper_bound ~scale:0.3 () in
+  Alcotest.(check int) "two bars" 2 (List.length s.E.points);
+  Alcotest.(check bool) "no-exec >= exec" true
+    (tput s "no-exec" >= tput s "exec")
+
+let test_fig8_ordering () =
+  let s = E.fig8_signatures ~scale:0.2 () in
+  let none = tput s "none" and ed = tput s "ed" and cmac = tput s "cmac" in
+  (* The paper's Fig. 8 ordering: no signatures fastest, digital
+     signatures everywhere slowest, CMAC in between. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "none (%.0f) > cmac (%.0f)" none cmac)
+    true (none > cmac);
+  Alcotest.(check bool)
+    (Printf.sprintf "cmac (%.0f) > ed (%.0f)" cmac ed)
+    true (cmac > ed)
+
+let test_fig9_direction_nofail () =
+  (* n=16, no failures: Zyzzyva leads, PoE beats PBFT and HotStuff is far
+     behind (paper §IV-D(2)). Small scale, so assert the robust parts. *)
+  let s = E.fig9_scalability ~scale:0.15 ~clients_per_hub:1000 ~ns:[ 16 ] E.Standard_nofail in
+  let poe = tput s "poe"
+  and pbft = tput s "pbft"
+  and hs = tput s "hotstuff"
+  and zyz = tput s "zyzzyva" in
+  Alcotest.(check bool) "all live" true
+    (List.for_all (fun x -> x > 0.0) [ poe; pbft; hs; zyz ]);
+  Alcotest.(check bool)
+    (Printf.sprintf "poe (%.0f) >= pbft (%.0f)" poe pbft)
+    true
+    (poe >= 0.95 *. pbft);
+  Alcotest.(check bool)
+    (Printf.sprintf "poe (%.0f) >> hotstuff (%.0f)" poe hs)
+    true (poe > 3.0 *. hs)
+
+let test_fig9_direction_failure () =
+  (* n=16, one crashed backup: the twin-path protocols collapse below PoE
+     (paper §IV-D(1)). *)
+  let s = E.fig9_scalability ~scale:0.15 ~clients_per_hub:1000 ~ns:[ 16 ] E.Standard_failure in
+  let poe = tput s "poe" and zyz = tput s "zyzzyva" and sbft = tput s "sbft" in
+  Alcotest.(check bool)
+    (Printf.sprintf "poe (%.0f) >> zyzzyva (%.0f)" poe zyz)
+    true (poe > 2.0 *. zyz);
+  Alcotest.(check bool)
+    (Printf.sprintf "poe (%.0f) > sbft (%.0f)" poe sbft)
+    true (poe > sbft)
+
+let test_fig9_batching_helps () =
+  let s = E.fig9_batching ~scale:0.25 ~clients_per_hub:4000 ~batch_sizes:[ 10; 100 ] () in
+  let at proto x =
+    match
+      List.find_opt (fun p -> p.E.protocol = proto && p.E.x = x) s.E.points
+    with
+    | Some p -> p.E.throughput
+    | None -> Alcotest.fail "missing point"
+  in
+  Alcotest.(check bool) "poe: batch 100 > batch 10" true
+    (at "poe" 100.0 > at "poe" 10.0);
+  Alcotest.(check bool) "pbft: batch 100 > batch 10" true
+    (at "pbft" 100.0 > at "pbft" 10.0)
+
+let test_fig10_timeline_shape () =
+  let timelines = E.fig10_view_change ~scale:1.0 ~clients_per_hub:500 () in
+  Alcotest.(check int) "poe and pbft" 2 (List.length timelines);
+  List.iter
+    (fun (name, series) ->
+      Alcotest.(check bool) (name ^ " has buckets") true (List.length series > 5);
+      (* The crash lands at t = 2.0 s. Detection, the client timeouts and
+         the view change shift the exact dip position, so find the deepest
+         post-crash bucket and require both a collapse and a recovery
+         after it. *)
+      let avg l = List.fold_left ( +. ) 0.0 l /. float_of_int (max 1 (List.length l)) in
+      let before =
+        List.filter (fun (t, _) -> t > 0.5 && t < 1.9) series |> List.map snd
+      in
+      let after = List.filter (fun (t, _) -> t >= 2.1) series in
+      let dip_t, dip_rate =
+        List.fold_left
+          (fun ((_, best) as acc) ((_, r) as p) -> if r < best then p else acc)
+          (0.0, infinity) after
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: collapse after crash (dip %.0f vs before %.0f)"
+           name dip_rate (avg before))
+        true
+        (dip_rate < 0.5 *. avg before);
+      let recovered =
+        List.exists (fun (t, r) -> t > dip_t && r > 2.0 *. Float.max dip_rate 1.0)
+          after
+      in
+      Alcotest.(check bool) (name ^ ": recovers after the dip") true recovered)
+    timelines
+
+let test_fig11_paper_claims () =
+  let s = E.fig11_simulation ~ns:[ 4; 16 ] ~delays_ms:[ 10.; 20. ] () in
+  let dec proto n d =
+    match
+      List.find_opt
+        (fun p -> p.E.protocol = proto && p.E.latency = float_of_int n && p.E.x = d)
+        s.E.points
+    with
+    | Some p -> p.E.decisions
+    | None -> Alcotest.fail "missing fig11 point"
+  in
+  let close a b = abs_float (a -. b) /. b < 0.12 in
+  (* PoE == PBFT ~= two-thirds of HotStuff, independent of n. *)
+  Alcotest.(check bool) "poe == pbft" true
+    (close (dec "poe" 4 10.) (dec "pbft" 4 10.));
+  Alcotest.(check bool) "poe ~ 2/3 hotstuff" true
+    (close (dec "poe" 4 10.) (0.667 *. dec "hotstuff" 4 10.));
+  Alcotest.(check bool) "independent of n" true
+    (close (dec "poe" 4 10.) (dec "poe" 16 10.));
+  (* Doubling the delay halves performance. *)
+  Alcotest.(check bool) "delay halves decisions" true
+    (close (dec "poe" 4 20.) (0.5 *. dec "poe" 4 10.))
+
+let test_fig11_out_of_order_multiplier () =
+  let seq = E.fig11_simulation ~ns:[ 4 ] ~delays_ms:[ 10. ] () in
+  let ooo = E.fig11_simulation ~out_of_order:true ~ns:[ 4 ] ~delays_ms:[ 10. ] () in
+  let dec s proto =
+    match List.find_opt (fun p -> p.E.protocol = proto) s.E.points with
+    | Some p -> p.E.decisions
+    | None -> Alcotest.fail "missing"
+  in
+  (* Out-of-order processing multiplies decision throughput by orders of
+     magnitude (paper: factor ~200). *)
+  Alcotest.(check bool) "poe ooo >> sequential" true
+    (dec ooo "poe" > 50.0 *. dec seq "poe");
+  Alcotest.(check bool) "pbft ooo >> sequential" true
+    (dec ooo "pbft" > 50.0 *. dec seq "pbft")
+
+let test_fig1_census () =
+  let s = E.fig1_message_census ~scale:0.15 () in
+  Alcotest.(check int) "five protocols" 5 (List.length s.E.points);
+  List.iter
+    (fun p ->
+      Alcotest.(check bool)
+        (p.E.protocol ^ " measured traffic")
+        true
+        (p.E.messages_per_decision > 0.0))
+    s.E.points;
+  (* PBFT's quadratic phases dwarf PoE's linear ones per decision. *)
+  let m proto =
+    (List.find (fun p -> p.E.protocol = proto) s.E.points).E.messages_per_decision
+  in
+  Alcotest.(check bool) "pbft > poe messages per decision" true
+    (m "pbft" > m "poe")
+
+let () =
+  Alcotest.run "harness"
+    [
+      ( "upper-bound",
+        [ Alcotest.test_case "exec vs no-exec" `Quick test_upper_bound_direction ] );
+      ( "cluster",
+        [
+          Alcotest.test_case "shape" `Quick test_cluster_shape;
+          Alcotest.test_case "network counters" `Quick
+            test_cluster_network_counters;
+        ] );
+      ( "experiments",
+        [
+          Alcotest.test_case "fig7 structure" `Slow test_fig7_structure;
+          Alcotest.test_case "fig8 ordering" `Slow test_fig8_ordering;
+          Alcotest.test_case "fig9 no-failure direction" `Slow
+            test_fig9_direction_nofail;
+          Alcotest.test_case "fig9 failure direction" `Slow
+            test_fig9_direction_failure;
+          Alcotest.test_case "fig9 batching direction" `Slow
+            test_fig9_batching_helps;
+          Alcotest.test_case "fig10 timeline shape" `Slow test_fig10_timeline_shape;
+          Alcotest.test_case "fig11 paper claims" `Slow test_fig11_paper_claims;
+          Alcotest.test_case "fig11 out-of-order multiplier" `Slow
+            test_fig11_out_of_order_multiplier;
+          Alcotest.test_case "fig1 census" `Slow test_fig1_census;
+        ] );
+    ]

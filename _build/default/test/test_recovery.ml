@@ -1,0 +1,349 @@
+(* Unit tests for the shared recovery machinery (Recovery) and the client
+   machines (Hub_core), driven directly against a live engine without a
+   full protocol on top. *)
+
+module R = Poe_runtime
+module Config = R.Config
+module Cost = R.Cost
+module Ctx = R.Replica_ctx
+module Exec = R.Exec_engine
+module Recovery = R.Recovery
+module Hub = R.Hub_core
+module Message = R.Message
+module Stats = R.Stats
+module Server = R.Server
+module Engine = Poe_simnet.Engine
+module Network = Poe_simnet.Network
+module Latency = Poe_simnet.Latency
+module Rng = Poe_simnet.Rng
+module Block = Poe_ledger.Block
+
+(* A tiny fixture: [n] replica contexts with exec engines and recovery
+   instances wired to the network, and a sink that records what arrives at
+   each node. *)
+type fixture = {
+  engine : Engine.t;
+  net : Message.t Network.t;
+  ctxs : Ctx.t array;
+  execs : Exec.t array;
+  recoveries : Recovery.t array;
+  suspected : bool array;
+}
+
+let make_fixture ?(n = 4) ?(materialize = false) () =
+  let config =
+    Config.make ~n ~batch_size:2 ~materialize ~checkpoint_period:4
+      ~view_timeout:0.2 ~n_hubs:1 ~clients_per_hub:1 ()
+  in
+  let engine = Engine.create ~seed:3 () in
+  let net =
+    Network.create ~engine ~n_nodes:(n + 1) ~latency:(Latency.Constant 0.001) ()
+  in
+  let stats = Stats.create ~warmup:0.0 ~measure:100.0 in
+  let ctxs =
+    Array.init n (fun id ->
+        Ctx.create ~id ~config ~cost:Cost.default ~engine ~net
+          ~server:(Server.create ~engine ()) ~stats ~rng:(Rng.create id) ())
+  in
+  let execs = Array.map (fun ctx -> Exec.create ~ctx ()) ctxs in
+  let suspected = Array.make n false in
+  let recoveries =
+    Array.init n (fun id ->
+        Recovery.create ~ctx:ctxs.(id) ~exec:execs.(id)
+          ~primary:(fun () -> 0)
+          ~active:(fun () -> true)
+          ~on_suspect:(fun () -> suspected.(id) <- true)
+          ())
+  in
+  Array.iteri
+    (fun id recovery ->
+      Network.set_handler net id (fun ~src ~bytes:_ msg ->
+          ignore (Recovery.on_message recovery ~src msg)))
+    recoveries;
+  { engine; net; ctxs; execs; recoveries; suspected }
+
+let batch_at i =
+  Message.batch_of_requests ~materialize:false
+    [ { Message.hub = 0; client = 0; rid = i; op = None; submitted = 0.0 } ]
+
+let execute_upto fx ~replica ~upto =
+  for k = 0 to upto do
+    Exec.offer fx.execs.(replica) ~seqno:k ~view:0 ~batch:(batch_at k)
+      ~proof:Block.No_proof
+  done;
+  Engine.run ~until:(Engine.now fx.engine +. 0.5) fx.engine
+
+(* ------------------------------------------------------------------ *)
+(* Recovery                                                            *)
+
+let test_watch_and_suspect () =
+  let fx = make_fixture () in
+  Recovery.start fx.recoveries.(1);
+  let req = { Message.hub = 0; client = 0; rid = 9; op = None; submitted = 0.0 } in
+  Recovery.watch fx.recoveries.(1) req;
+  Alcotest.(check int) "watched once" 1
+    (List.length (Recovery.watched_requests fx.recoveries.(1)));
+  Recovery.watch fx.recoveries.(1) req;
+  Alcotest.(check int) "idempotent" 1
+    (List.length (Recovery.watched_requests fx.recoveries.(1)));
+  (* Nothing executes it, so the sweep eventually suspects the primary. *)
+  Engine.run ~until:1.0 fx.engine;
+  Alcotest.(check bool) "suspected" true fx.suspected.(1)
+
+let test_note_executed_clears_watch () =
+  let fx = make_fixture () in
+  Recovery.start fx.recoveries.(1);
+  let b = batch_at 0 in
+  let req = b.Message.reqs.(0) in
+  Recovery.watch fx.recoveries.(1) req;
+  Exec.offer fx.execs.(1) ~seqno:0 ~view:0 ~batch:b ~proof:Block.No_proof;
+  Engine.run ~until:0.1 fx.engine;
+  Recovery.note_executed fx.recoveries.(1) ~seqno:0 ~batch:b;
+  Engine.run ~until:1.5 fx.engine;
+  Alcotest.(check bool) "no suspicion for executed work" false fx.suspected.(1)
+
+let test_checkpoint_stabilizes_cluster () =
+  let fx = make_fixture () in
+  Array.iter Recovery.start fx.recoveries;
+  (* Everyone executes 8 batches and reports them; period 4 => votes at
+     seqnos 3 and 7; nf matching votes stabilize. *)
+  for id = 0 to 3 do
+    execute_upto fx ~replica:id ~upto:7;
+    for k = 0 to 7 do
+      Recovery.note_executed fx.recoveries.(id) ~seqno:k ~batch:(batch_at k)
+    done
+  done;
+  Engine.run ~until:(Engine.now fx.engine +. 0.5) fx.engine;
+  Array.iteri
+    (fun id recovery ->
+      Alcotest.(check int)
+        (Printf.sprintf "replica %d stable at 7" id)
+        7 (Recovery.stable recovery))
+    fx.recoveries
+
+let test_lagging_replica_incremental_transfer () =
+  let fx = make_fixture () in
+  Array.iter Recovery.start fx.recoveries;
+  (* Replicas 0-2 execute 8 batches; replica 3 executes none. Their votes
+     are f+1 evidence; 3 requests a transfer and fast-forwards. *)
+  for id = 0 to 2 do
+    execute_upto fx ~replica:id ~upto:7;
+    for k = 0 to 7 do
+      Recovery.note_executed fx.recoveries.(id) ~seqno:k ~batch:(batch_at k)
+    done
+  done;
+  Engine.run ~until:(Engine.now fx.engine +. 1.0) fx.engine;
+  Alcotest.(check int) "replica 3 caught up" 7 (Exec.k_exec fx.execs.(3))
+
+let test_snapshot_transfer_materialized () =
+  let fx = make_fixture ~materialize:true () in
+  Array.iter Recovery.start fx.recoveries;
+  (* Healthy replicas execute 12 materialized batches (mutating real rows),
+     checkpoint at 3, 7, 11 and GC. The straggler is below their stable
+     point, so catching up requires the snapshot path; afterwards its rows
+     must equal theirs. *)
+  let op k = Poe_store.Kv_store.Update ("user1", Printf.sprintf "gen-%d" k) in
+  let mat_batch k =
+    Message.batch_of_requests ~materialize:true
+      [ { Message.hub = 0; client = 0; rid = k; op = Some (op k); submitted = 0.0 } ]
+  in
+  for id = 0 to 2 do
+    for k = 0 to 11 do
+      Exec.offer fx.execs.(id) ~seqno:k ~view:0 ~batch:(mat_batch k)
+        ~proof:Block.No_proof
+    done;
+    Engine.run ~until:(Engine.now fx.engine +. 0.2) fx.engine;
+    for k = 0 to 11 do
+      Recovery.note_executed fx.recoveries.(id) ~seqno:k ~batch:(mat_batch k)
+    done
+  done;
+  Engine.run ~until:(Engine.now fx.engine +. 2.0) fx.engine;
+  Alcotest.(check bool) "healthy replicas stabilized past 3" true
+    (Recovery.stable fx.recoveries.(0) >= 3);
+  Alcotest.(check bool)
+    (Printf.sprintf "straggler fast-forwarded (k=%d)" (Exec.k_exec fx.execs.(3)))
+    true
+    (Exec.k_exec fx.execs.(3) >= Recovery.stable fx.recoveries.(0));
+  let row id = Poe_store.Kv_store.get (Option.get (Ctx.store fx.ctxs.(id))) "user1" in
+  if Exec.k_exec fx.execs.(3) = Exec.k_exec fx.execs.(0) then
+    Alcotest.(check (option string)) "rows equal after snapshot" (row 0) (row 3)
+
+(* ------------------------------------------------------------------ *)
+(* Hub_core                                                            *)
+
+type hub_fixture = {
+  h_engine : Engine.t;
+  h_net : Message.t Network.t;
+  hub : Hub.t;
+  h_stats : Stats.t;
+  received : (int * Message.t) list ref; (* what replicas got *)
+}
+
+let make_hub ?(quorum = 3) ?(n = 4) ?(clients = 3) () =
+  let config =
+    Config.make ~n ~n_hubs:1 ~clients_per_hub:clients ~request_timeout:0.4
+      ~client_bundle_delay:0.001 ()
+  in
+  let engine = Engine.create ~seed:5 () in
+  let net =
+    Network.create ~engine ~n_nodes:(n + 1) ~latency:(Latency.Constant 0.001) ()
+  in
+  let stats = Stats.create ~warmup:0.0 ~measure:100.0 in
+  let received = ref [] in
+  for id = 0 to n - 1 do
+    Network.set_handler net id (fun ~src:_ ~bytes:_ msg ->
+        received := (id, msg) :: !received)
+  done;
+  let hooks =
+    { Hub.quorum; send_mode = Hub.To_primary; on_timeout = None; on_message = None }
+  in
+  let hub =
+    Hub.create ~hub:0 ~config ~engine ~net ~stats ~rng:(Rng.create 7)
+      ~workload:None ~hooks ()
+  in
+  Network.set_handler net n (fun ~src ~bytes:_ msg ->
+      Hub.on_network_message hub ~src msg);
+  { h_engine = engine; h_net = net; hub; h_stats = stats; received }
+
+let respond fx ~replica ~seqno ~digest reqs =
+  Network.send fx.h_net ~src:replica ~dst:4 ~bytes:100
+    (Message.Exec_response
+       {
+         view = 0;
+         seqno;
+         replica;
+         batch_digest = digest;
+         result_digest = digest;
+         acks = List.map (fun (r : Message.request) -> (r.client, r.rid)) reqs;
+       })
+
+let requests_seen fx =
+  List.concat_map
+    (fun (_, msg) ->
+      match msg with
+      | Message.Client_request_bundle reqs -> reqs
+      | Message.Client_request r | Message.Client_forward r -> [ r ]
+      | _ -> [])
+    !(fx.received)
+
+let test_hub_submits_and_completes () =
+  let fx = make_hub () in
+  Hub.start fx.hub;
+  Engine.run ~until:0.1 fx.h_engine;
+  Alcotest.(check int) "three outstanding" 3 (Hub.outstanding fx.hub);
+  let reqs = requests_seen fx in
+  Alcotest.(check int) "three requests at primary" 3 (List.length reqs);
+  (* Quorum of matching responses completes and triggers resubmission. *)
+  List.iter
+    (fun replica -> respond fx ~replica ~seqno:0 ~digest:"d" reqs)
+    [ 0; 1; 2 ];
+  Engine.run ~until:0.2 fx.h_engine;
+  Alcotest.(check int) "completed" 3 (Hub.completed fx.hub);
+  Alcotest.(check int) "fresh requests outstanding" 3 (Hub.outstanding fx.hub);
+  Alcotest.(check bool) "latency recorded" true (Stats.avg_latency fx.h_stats > 0.0)
+
+let test_hub_quorum_requires_matching () =
+  let fx = make_hub () in
+  Hub.start fx.hub;
+  Engine.run ~until:0.1 fx.h_engine;
+  let reqs = requests_seen fx in
+  (* Two agreeing + one divergent response: no completion yet. *)
+  respond fx ~replica:0 ~seqno:0 ~digest:"good" reqs;
+  respond fx ~replica:1 ~seqno:0 ~digest:"good" reqs;
+  respond fx ~replica:2 ~seqno:0 ~digest:"evil" reqs;
+  Engine.run ~until:0.2 fx.h_engine;
+  Alcotest.(check int) "no completion on 2-of-3 match" 0 (Hub.completed fx.hub);
+  respond fx ~replica:3 ~seqno:0 ~digest:"good" reqs;
+  Engine.run ~until:0.3 fx.h_engine;
+  Alcotest.(check int) "third matching response completes" 3
+    (Hub.completed fx.hub)
+
+let test_hub_duplicate_responses_ignored () =
+  let fx = make_hub () in
+  Hub.start fx.hub;
+  Engine.run ~until:0.1 fx.h_engine;
+  let reqs = requests_seen fx in
+  respond fx ~replica:0 ~seqno:0 ~digest:"d" reqs;
+  respond fx ~replica:0 ~seqno:0 ~digest:"d" reqs;
+  respond fx ~replica:0 ~seqno:0 ~digest:"d" reqs;
+  Engine.run ~until:0.2 fx.h_engine;
+  Alcotest.(check int) "one replica cannot fake a quorum" 0
+    (Hub.completed fx.hub)
+
+let test_hub_timeout_forwards_to_all () =
+  let fx = make_hub () in
+  Hub.start fx.hub;
+  (* Nobody answers: after the 0.4s timeout each request is re-broadcast
+     as a CLIENT-FORWARD to every replica. *)
+  Engine.run ~until:1.0 fx.h_engine;
+  let forwards =
+    List.filter
+      (fun (_, m) -> match m with Message.Client_forward _ -> true | _ -> false)
+      !(fx.received)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "forwards broadcast (%d)" (List.length forwards))
+    true
+    (List.length forwards >= 3 * 4);
+  Alcotest.(check int) "still outstanding" 3 (Hub.outstanding fx.hub)
+
+let test_hub_believed_view_tracks_responses () =
+  let fx = make_hub () in
+  Hub.start fx.hub;
+  Engine.run ~until:0.1 fx.h_engine;
+  Alcotest.(check int) "starts at view 0" 0 (Hub.believed_view fx.hub);
+  Network.send fx.h_net ~src:1 ~dst:4 ~bytes:64
+    (Message.Exec_response
+       {
+         view = 3;
+         seqno = 0;
+         replica = 1;
+         batch_digest = "d";
+         result_digest = "d";
+         acks = [];
+       });
+  Engine.run ~until:0.2 fx.h_engine;
+  Alcotest.(check int) "adopts the newest view" 3 (Hub.believed_view fx.hub)
+
+let test_hub_pause_stops_resubmission () =
+  let fx = make_hub () in
+  Hub.start fx.hub;
+  Engine.run ~until:0.1 fx.h_engine;
+  let reqs = requests_seen fx in
+  Hub.pause fx.hub;
+  List.iter (fun r -> respond fx ~replica:r ~seqno:0 ~digest:"d" reqs) [ 0; 1; 2 ];
+  Engine.run ~until:0.3 fx.h_engine;
+  Alcotest.(check int) "completions still counted" 3 (Hub.completed fx.hub);
+  Alcotest.(check int) "no new submissions after pause" 0
+    (Hub.outstanding fx.hub)
+
+let () =
+  Alcotest.run "recovery"
+    [
+      ( "recovery",
+        [
+          Alcotest.test_case "watch + suspect" `Quick test_watch_and_suspect;
+          Alcotest.test_case "execution clears watch" `Quick
+            test_note_executed_clears_watch;
+          Alcotest.test_case "checkpoints stabilize" `Quick
+            test_checkpoint_stabilizes_cluster;
+          Alcotest.test_case "incremental transfer" `Quick
+            test_lagging_replica_incremental_transfer;
+          Alcotest.test_case "snapshot transfer (materialized)" `Quick
+            test_snapshot_transfer_materialized;
+        ] );
+      ( "hub",
+        [
+          Alcotest.test_case "submit and complete" `Quick
+            test_hub_submits_and_completes;
+          Alcotest.test_case "quorum needs matching digests" `Quick
+            test_hub_quorum_requires_matching;
+          Alcotest.test_case "duplicates ignored" `Quick
+            test_hub_duplicate_responses_ignored;
+          Alcotest.test_case "timeout forwards to all" `Quick
+            test_hub_timeout_forwards_to_all;
+          Alcotest.test_case "believed view tracking" `Quick
+            test_hub_believed_view_tracks_responses;
+          Alcotest.test_case "pause" `Quick test_hub_pause_stops_resubmission;
+        ] );
+    ]

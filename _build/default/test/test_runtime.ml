@@ -1,0 +1,427 @@
+(* Tests for the replica runtime: configuration invariants, the cost model,
+   CPU-lane queueing, measurement windows, wire sizes, the batching
+   pipeline, and the in-order execution engine (including rollback). *)
+
+module R = Poe_runtime
+module Config = R.Config
+module Cost = R.Cost
+module Server = R.Server
+module Stats = R.Stats
+module Message = R.Message
+module Ctx = R.Replica_ctx
+module Pipeline = R.Pipeline
+module Exec = R.Exec_engine
+module Engine = Poe_simnet.Engine
+module Network = Poe_simnet.Network
+module Latency = Poe_simnet.Latency
+module Rng = Poe_simnet.Rng
+module Block = Poe_ledger.Block
+
+(* ------------------------------------------------------------------ *)
+(* Config                                                              *)
+
+let test_config_quorums () =
+  List.iter
+    (fun (n, f) ->
+      let cfg = Config.make ~n () in
+      Alcotest.(check int) (Printf.sprintf "f at n=%d" n) f (Config.f cfg);
+      Alcotest.(check int)
+        (Printf.sprintf "nf at n=%d" n)
+        (n - f) (Config.nf cfg);
+      Alcotest.(check bool) "n > 3f" true (n > 3 * Config.f cfg))
+    [ (4, 1); (5, 1); (7, 2); (16, 5); (32, 10); (64, 21); (91, 30) ]
+
+let test_config_primary_rotation () =
+  let cfg = Config.make ~n:4 () in
+  Alcotest.(check int) "view 0" 0 (Config.primary_of_view cfg 0);
+  Alcotest.(check int) "view 3" 3 (Config.primary_of_view cfg 3);
+  Alcotest.(check int) "view 4 wraps" 0 (Config.primary_of_view cfg 4)
+
+let test_config_validation () =
+  Alcotest.check_raises "n < 4" (Invalid_argument "Config.make: need n >= 4 for BFT")
+    (fun () -> ignore (Config.make ~n:3 ()));
+  (* out_of_order = false forces a sequential window. *)
+  let cfg = Config.make ~n:4 ~out_of_order:false ~window:999 () in
+  Alcotest.(check int) "window forced to 1" 1 cfg.Config.window
+
+(* ------------------------------------------------------------------ *)
+(* Cost                                                                *)
+
+let test_cost_schemes () =
+  let c = Cost.default in
+  Alcotest.(check (float 0.0)) "none free" 0.0 (Cost.auth_sign c Config.Auth_none);
+  Alcotest.(check bool) "mac < ds" true
+    (Cost.auth_verify c Config.Auth_mac < Cost.auth_verify c Config.Auth_digital);
+  Alcotest.(check bool) "hash grows with bytes" true
+    (Cost.hash_cost c ~bytes:10_000 > Cost.hash_cost c ~bytes:10);
+  Alcotest.(check bool) "combine grows with shares" true
+    (Cost.combine_cost c ~shares:61 > Cost.combine_cost c ~shares:3);
+  let z = Cost.zero in
+  Alcotest.(check (float 0.0)) "zero model hash" 0.0 (Cost.hash_cost z ~bytes:5400);
+  Alcotest.(check (float 0.0)) "zero model combine" 0.0
+    (Cost.combine_cost z ~shares:61)
+
+(* ------------------------------------------------------------------ *)
+(* Server                                                              *)
+
+let test_server_single_lane_fifo () =
+  let engine = Engine.create () in
+  let server = Server.create ~engine ~worker_lanes:1 () in
+  let done_at = ref [] in
+  for i = 1 to 3 do
+    Server.submit server Server.Worker ~cost:0.1 (fun () ->
+        done_at := (i, Engine.now engine) :: !done_at)
+  done;
+  Engine.run engine;
+  match List.rev !done_at with
+  | [ (1, t1); (2, t2); (3, t3) ] ->
+      Alcotest.(check (float 1e-9)) "first" 0.1 t1;
+      Alcotest.(check (float 1e-9)) "queued second" 0.2 t2;
+      Alcotest.(check (float 1e-9)) "queued third" 0.3 t3
+  | _ -> Alcotest.fail "wrong completion order"
+
+let test_server_parallel_lanes () =
+  let engine = Engine.create () in
+  let server = Server.create ~engine ~io_lanes:2 () in
+  let finishes = ref [] in
+  for _ = 1 to 4 do
+    Server.submit server Server.Io ~cost:0.1 (fun () ->
+        finishes := Engine.now engine :: !finishes)
+  done;
+  Engine.run engine;
+  let finishes = List.sort compare !finishes in
+  Alcotest.(check (list (float 1e-9))) "two waves of two"
+    [ 0.1; 0.1; 0.2; 0.2 ] finishes;
+  Alcotest.(check (float 1e-9)) "busy accounting" 0.4
+    (Server.busy_seconds server Server.Io)
+
+let test_server_backlog () =
+  let engine = Engine.create () in
+  let server = Server.create ~engine ~worker_lanes:1 () in
+  Alcotest.(check (float 1e-9)) "idle" 0.0 (Server.backlog server Server.Worker);
+  Server.submit server Server.Worker ~cost:0.5 (fun () -> ());
+  Alcotest.(check (float 1e-9)) "backlogged" 0.5
+    (Server.backlog server Server.Worker);
+  Alcotest.check_raises "negative cost"
+    (Invalid_argument "Server.submit: negative cost") (fun () ->
+      Server.submit server Server.Worker ~cost:(-1.0) (fun () -> ()))
+
+let test_server_resources_independent () =
+  let engine = Engine.create () in
+  let server = Server.create ~engine () in
+  Server.submit server Server.Worker ~cost:1.0 (fun () -> ());
+  Alcotest.(check (float 1e-9)) "execute unaffected" 0.0
+    (Server.backlog server Server.Execute)
+
+(* ------------------------------------------------------------------ *)
+(* Stats                                                               *)
+
+let test_stats_window () =
+  let s = Stats.create ~warmup:1.0 ~measure:2.0 in
+  (* Before, inside, and after the window. *)
+  Stats.record_completion s ~now:0.5 ~submitted:0.4 ~count:10;
+  Stats.record_completion s ~now:1.5 ~submitted:1.0 ~count:10;
+  Stats.record_completion s ~now:2.5 ~submitted:2.0 ~count:10;
+  Stats.record_completion s ~now:3.5 ~submitted:3.0 ~count:10;
+  Alcotest.(check (float 1e-9)) "throughput counts window only" 10.0
+    (Stats.throughput s);
+  Alcotest.(check (float 1e-9)) "latency avg over window" 0.5 (Stats.avg_latency s);
+  Alcotest.(check int) "total counts all" 40 (Stats.completed_total s)
+
+let test_stats_buckets () =
+  let s = Stats.create ~warmup:0.0 ~measure:10.0 in
+  Stats.record_completion s ~now:0.2 ~submitted:0.1 ~count:5;
+  Stats.record_completion s ~now:0.7 ~submitted:0.6 ~count:5;
+  Stats.record_completion s ~now:1.2 ~submitted:1.1 ~count:20;
+  let series = Stats.bucket_series s ~bucket:1.0 ~upto:3.0 in
+  match series with
+  | [ (t0, r0); (t1, r1); (t2, r2) ] ->
+      Alcotest.(check (float 1e-9)) "bucket starts" 0.0 t0;
+      Alcotest.(check (float 1e-9)) "bucket 0 rate" 10.0 r0;
+      Alcotest.(check (float 1e-9)) "bucket 1 start" 1.0 t1;
+      Alcotest.(check (float 1e-9)) "bucket 1 rate" 20.0 r1;
+      Alcotest.(check (float 1e-9)) "bucket 2 start" 2.0 t2;
+      Alcotest.(check (float 1e-9)) "bucket 2 empty" 0.0 r2
+  | _ -> Alcotest.fail "expected three buckets"
+
+(* ------------------------------------------------------------------ *)
+(* Message wire sizes                                                  *)
+
+let test_wire_sizes () =
+  let std = Config.make ~n:4 ~batch_size:100 () in
+  let zero = Config.make ~n:4 ~batch_size:100 ~payload:Config.Zero () in
+  (* Paper: PROPOSE = 5400 B at batch 100, other messages ~250 B. *)
+  let p = Message.Wire.propose std in
+  Alcotest.(check bool) "propose near 5400B" true (abs (p - 5400) < 200);
+  Alcotest.(check int) "zero payload propose is bare" Message.Wire.header
+    (Message.Wire.propose zero);
+  Alcotest.(check int) "votes are 250B" 250 Message.Wire.vote;
+  Alcotest.(check bool) "response grows with acks" true
+    (Message.Wire.response std ~per_reqs:10 > Message.Wire.response std ~per_reqs:1);
+  Alcotest.(check bool) "vc grows with entries" true
+    (Message.Wire.view_change std ~entries:50
+    > Message.Wire.view_change std ~entries:0)
+
+let test_batch_of_requests () =
+  let mk i =
+    { Message.hub = 0; client = i; rid = 0; op = None; submitted = 0.0 }
+  in
+  let reqs = List.init 5 mk in
+  let b1 = Message.batch_of_requests ~materialize:true reqs in
+  let b2 = Message.batch_of_requests ~materialize:true reqs in
+  Alcotest.(check string) "deterministic digest" b1.Message.digest b2.Message.digest;
+  let b3 = Message.batch_of_requests ~materialize:true (List.tl reqs) in
+  Alcotest.(check bool) "different content, different digest" false
+    (String.equal b1.Message.digest b3.Message.digest);
+  Alcotest.(check int) "size" 5 (Array.length b1.Message.reqs)
+
+(* ------------------------------------------------------------------ *)
+(* Test fixture: a single replica context on a live engine              *)
+
+let make_ctx ?(materialize = false) ?(config = None) () =
+  let cfg =
+    match config with
+    | Some c -> c
+    | None -> Config.make ~n:4 ~batch_size:3 ~batch_delay:0.01 ~materialize ()
+  in
+  let engine = Engine.create () in
+  let net =
+    Network.create ~engine
+      ~n_nodes:(cfg.Config.n + cfg.Config.n_hubs)
+      ~latency:(Latency.Constant 0.001) ()
+  in
+  let server = Server.create ~engine () in
+  let stats = Stats.create ~warmup:0.0 ~measure:10.0 in
+  let ctx =
+    Ctx.create ~id:0 ~config:cfg ~cost:Cost.default ~engine ~net ~server ~stats
+      ~rng:(Rng.create 1) ()
+  in
+  (engine, ctx)
+
+(* ------------------------------------------------------------------ *)
+(* Pipeline                                                            *)
+
+let mk_req i =
+  { Message.hub = 0; client = i; rid = 0; op = None; submitted = 0.0 }
+
+let test_pipeline_full_batch () =
+  let engine, ctx = make_ctx () in
+  let batches = ref [] in
+  let p = Pipeline.create ~ctx ~on_batch:(fun b -> batches := b :: !batches) () in
+  for i = 0 to 6 do
+    Pipeline.add_request p (mk_req i)
+  done;
+  Engine.run ~until:0.001 engine;
+  (* batch_size = 3: two full batches immediately, one request left. *)
+  Alcotest.(check int) "two full batches" 2 (List.length !batches);
+  Alcotest.(check int) "one queued" 1 (Pipeline.queued p);
+  (* The partial batch closes after batch_delay. *)
+  Engine.run ~until:0.1 engine;
+  Alcotest.(check int) "partial batch closed" 3 (List.length !batches);
+  List.iter
+    (fun (b : Message.batch) ->
+      Alcotest.(check bool) "batch sized" true (Array.length b.Message.reqs <= 3))
+    !batches
+
+let test_pipeline_dedup () =
+  let engine, ctx = make_ctx () in
+  let count = ref 0 in
+  let p =
+    Pipeline.create ~ctx
+      ~on_batch:(fun b -> count := !count + Array.length b.Message.reqs)
+      ()
+  in
+  let r = mk_req 1 in
+  Pipeline.add_request p r;
+  Pipeline.add_request p r;
+  Pipeline.add_request p r;
+  Engine.run ~until:1.0 engine;
+  Alcotest.(check int) "duplicate requests collapsed" 1 !count;
+  Alcotest.(check bool) "marked proposed" true (Pipeline.already_proposed p r)
+
+let test_pipeline_window () =
+  let cfg = Config.make ~n:4 ~batch_size:1 ~window:2 ~batch_delay:0.0001 () in
+  let engine, ctx = make_ctx ~config:(Some cfg) () in
+  let batches = ref 0 in
+  let p = Pipeline.create ~ctx ~on_batch:(fun _ -> incr batches) () in
+  for i = 0 to 9 do
+    Pipeline.add_request p (mk_req i)
+  done;
+  Engine.run ~until:0.5 engine;
+  Alcotest.(check int) "window caps dispatch" 2 !batches;
+  Alcotest.(check int) "in flight" 2 (Pipeline.in_flight p);
+  (* Closing slots releases the next batches. *)
+  Pipeline.seqno_closed p;
+  Pipeline.seqno_closed p;
+  Engine.run ~until:1.0 engine;
+  Alcotest.(check int) "two more dispatched" 4 !batches
+
+let test_pipeline_drain () =
+  let engine, ctx = make_ctx () in
+  let p = Pipeline.create ~ctx ~on_batch:(fun _ -> ()) () in
+  Pipeline.add_request p (mk_req 1);
+  Pipeline.add_request p (mk_req 2);
+  ignore engine;
+  let drained = Pipeline.drain_pending p in
+  Alcotest.(check int) "drained" 2 (List.length drained);
+  Alcotest.(check int) "queue empty" 0 (Pipeline.queued p);
+  (* Drained requests stay deduplicated. *)
+  Alcotest.(check bool) "still seen" true (Pipeline.already_proposed p (mk_req 1))
+
+(* ------------------------------------------------------------------ *)
+(* Exec engine                                                         *)
+
+let batch_of i =
+  let reqs = [ { Message.hub = 0; client = 0; rid = i; op = None; submitted = 0.0 } ] in
+  Message.batch_of_requests ~materialize:false reqs
+
+let materialized_batch store_ops i =
+  let reqs =
+    List.mapi
+      (fun j op ->
+        { Message.hub = 0; client = j; rid = i; op = Some op; submitted = 0.0 })
+      store_ops
+  in
+  Message.batch_of_requests ~materialize:true reqs
+
+let test_exec_in_order () =
+  let engine, ctx = make_ctx () in
+  let order = ref [] in
+  let exec =
+    Exec.create ~ctx
+      ~on_executed:(fun ~seqno ~batch:_ ~result:_ -> order := seqno :: !order)
+      ()
+  in
+  (* Offer out of order: 2, 0, 1. Nothing runs until 0 arrives; everything
+     runs in sequence order. *)
+  Exec.offer exec ~seqno:2 ~view:0 ~batch:(batch_of 2) ~proof:Block.No_proof;
+  Engine.run ~until:0.1 engine;
+  Alcotest.(check (list int)) "gap stalls" [] !order;
+  Exec.offer exec ~seqno:0 ~view:0 ~batch:(batch_of 0) ~proof:Block.No_proof;
+  Exec.offer exec ~seqno:1 ~view:0 ~batch:(batch_of 1) ~proof:Block.No_proof;
+  Engine.run ~until:1.0 engine;
+  Alcotest.(check (list int)) "in order" [ 0; 1; 2 ] (List.rev !order);
+  Alcotest.(check int) "k_exec" 2 (Exec.k_exec exec);
+  (* Duplicate offers are ignored. *)
+  Exec.offer exec ~seqno:1 ~view:0 ~batch:(batch_of 1) ~proof:Block.No_proof;
+  Engine.run ~until:2.0 engine;
+  Alcotest.(check int) "no re-execution" 3 (List.length !order)
+
+let test_exec_was_executed_and_summaries () =
+  let engine, ctx = make_ctx () in
+  let exec = Exec.create ~ctx () in
+  let b0 = batch_of 0 and b1 = batch_of 1 in
+  Exec.offer exec ~seqno:0 ~view:0 ~batch:b0 ~proof:Block.No_proof;
+  Exec.offer exec ~seqno:1 ~view:3 ~batch:b1 ~proof:Block.No_proof;
+  Engine.run ~until:1.0 engine;
+  Alcotest.(check bool) "req executed" true
+    (Exec.was_executed exec b0.Message.reqs.(0));
+  (match Exec.executed_since exec (-1) with
+  | [ (0, 0, _); (1, 3, _) ] -> ()
+  | _ -> Alcotest.fail "bad summary");
+  Alcotest.(check bool) "executed_batch" true
+    (Exec.executed_batch exec 1 = Some b1);
+  (* GC drops retained batches and request keys. *)
+  Exec.set_stable exec 0;
+  Exec.gc_below exec ~seqno:0;
+  Alcotest.(check bool) "gc dropped batch" true (Exec.executed_batch exec 0 = None);
+  Alcotest.(check bool) "gc dropped key" false
+    (Exec.was_executed exec b0.Message.reqs.(0));
+  Alcotest.(check (list (pair int int)))
+    "summary starts after stable"
+    [ (1, 3) ]
+    (List.map (fun (s, v, _) -> (s, v)) (Exec.executed_since exec (-1)))
+
+let test_exec_rollback_materialized () =
+  let cfg = Config.make ~n:4 ~batch_size:2 ~materialize:true () in
+  let engine, ctx = make_ctx ~config:(Some cfg) () in
+  let exec = Exec.create ~ctx () in
+  let store = Option.get (Ctx.store ctx) in
+  let user2_before = Poe_store.Kv_store.get store "user2" in
+  let b0 = materialized_batch [ Poe_store.Kv_store.Update ("user1", "AAA") ] 0 in
+  let b1 = materialized_batch [ Poe_store.Kv_store.Update ("user1", "BBB") ] 1 in
+  let b2 = materialized_batch [ Poe_store.Kv_store.Update ("user2", "CCC") ] 2 in
+  Exec.offer exec ~seqno:0 ~view:0 ~batch:b0 ~proof:Block.No_proof;
+  Exec.offer exec ~seqno:1 ~view:0 ~batch:b1 ~proof:Block.No_proof;
+  Exec.offer exec ~seqno:2 ~view:0 ~batch:b2 ~proof:Block.No_proof;
+  Engine.run ~until:1.0 engine;
+  Alcotest.(check (option string)) "user1 after" (Some "BBB")
+    (Poe_store.Kv_store.get store "user1");
+  (* Roll back the two speculative batches above seqno 0. *)
+  let reverted = Exec.rollback_to exec ~seqno:0 in
+  Alcotest.(check int) "two reverted" 2 reverted;
+  Alcotest.(check (option string)) "user1 back to AAA" (Some "AAA")
+    (Poe_store.Kv_store.get store "user1");
+  Alcotest.(check (option string)) "user2 reverted to original" user2_before
+    (Poe_store.Kv_store.get store "user2");
+  Alcotest.(check int) "k_exec rewound" 0 (Exec.k_exec exec);
+  Alcotest.(check bool) "rolled-back request forgotten" false
+    (Exec.was_executed exec b1.Message.reqs.(0));
+  (* Re-execution after rollback (the view-change adopt path). *)
+  Exec.force_adopt exec ~seqno:1 ~view:1 ~batch:b1 ~proof:Block.No_proof;
+  Alcotest.(check (option string)) "re-executed" (Some "BBB")
+    (Poe_store.Kv_store.get store "user1");
+  (* The ledger shrank and regrew consistently. *)
+  match Ctx.chain ctx with
+  | Some chain ->
+      Alcotest.(check bool) "chain verifies" true
+        (Poe_ledger.Chain.verify chain = Ok ())
+  | None -> Alcotest.fail "expected a chain"
+
+let test_exec_force_adopt_gap () =
+  let engine, ctx = make_ctx () in
+  let exec = Exec.create ~ctx () in
+  ignore engine;
+  Alcotest.check_raises "gap rejected"
+    (Invalid_argument "Exec_engine.force_adopt: gap in adopted prefix")
+    (fun () ->
+      Exec.force_adopt exec ~seqno:5 ~view:0 ~batch:(batch_of 5)
+        ~proof:Block.No_proof)
+
+let () =
+  Alcotest.run "runtime"
+    [
+      ( "config",
+        [
+          Alcotest.test_case "quorums" `Quick test_config_quorums;
+          Alcotest.test_case "primary rotation" `Quick
+            test_config_primary_rotation;
+          Alcotest.test_case "validation" `Quick test_config_validation;
+        ] );
+      ("cost", [ Alcotest.test_case "schemes and helpers" `Quick test_cost_schemes ]);
+      ( "server",
+        [
+          Alcotest.test_case "single lane fifo" `Quick test_server_single_lane_fifo;
+          Alcotest.test_case "parallel lanes" `Quick test_server_parallel_lanes;
+          Alcotest.test_case "backlog" `Quick test_server_backlog;
+          Alcotest.test_case "resources independent" `Quick
+            test_server_resources_independent;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "measurement window" `Quick test_stats_window;
+          Alcotest.test_case "bucket series" `Quick test_stats_buckets;
+        ] );
+      ( "message",
+        [
+          Alcotest.test_case "wire sizes" `Quick test_wire_sizes;
+          Alcotest.test_case "batch digests" `Quick test_batch_of_requests;
+        ] );
+      ( "pipeline",
+        [
+          Alcotest.test_case "full and partial batches" `Quick
+            test_pipeline_full_batch;
+          Alcotest.test_case "dedup" `Quick test_pipeline_dedup;
+          Alcotest.test_case "window" `Quick test_pipeline_window;
+          Alcotest.test_case "drain" `Quick test_pipeline_drain;
+        ] );
+      ( "exec_engine",
+        [
+          Alcotest.test_case "in-order execution" `Quick test_exec_in_order;
+          Alcotest.test_case "summaries and gc" `Quick
+            test_exec_was_executed_and_summaries;
+          Alcotest.test_case "rollback (materialized)" `Quick
+            test_exec_rollback_materialized;
+          Alcotest.test_case "force_adopt gap" `Quick test_exec_force_adopt_gap;
+        ] );
+    ]

@@ -1,0 +1,393 @@
+(* Tests for the discrete-event simulation substrate: RNG determinism, heap
+   ordering, engine timers, latency models, and the network's delivery,
+   crash, partition and accounting semantics. *)
+
+module Rng = Poe_simnet.Rng
+module Event_queue = Poe_simnet.Event_queue
+module Engine = Poe_simnet.Engine
+module Latency = Poe_simnet.Latency
+module Network = Poe_simnet.Network
+
+(* ------------------------------------------------------------------ *)
+(* Rng                                                                 *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 123 and b = Rng.create 123 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.int64 a) (Rng.int64 b)
+  done
+
+let test_rng_split_independent () =
+  let root = Rng.create 1 in
+  let child = Rng.split root in
+  let x = Rng.int64 child in
+  (* Replaying the root gives the same child. *)
+  let root' = Rng.create 1 in
+  let child' = Rng.split root' in
+  Alcotest.(check int64) "split deterministic" x (Rng.int64 child')
+
+let rng_qcheck =
+  [
+    QCheck.Test.make ~name:"int in bounds" ~count:1000
+      (QCheck.pair QCheck.small_nat (QCheck.int_range 1 1_000_000))
+      (fun (seed, bound) ->
+        let rng = Rng.create seed in
+        let v = Rng.int rng bound in
+        v >= 0 && v < bound);
+    QCheck.Test.make ~name:"float in bounds" ~count:1000 QCheck.small_nat
+      (fun seed ->
+        let rng = Rng.create seed in
+        let v = Rng.float rng 3.5 in
+        v >= 0.0 && v < 3.5);
+    QCheck.Test.make ~name:"exponential non-negative" ~count:1000
+      QCheck.small_nat (fun seed ->
+        let rng = Rng.create seed in
+        Rng.exponential rng ~mean:0.01 >= 0.0);
+  ]
+
+let test_rng_distributions () =
+  let rng = Rng.create 7 in
+  let nsamples = 20_000 in
+  let sum = ref 0.0 in
+  for _ = 1 to nsamples do
+    sum := !sum +. Rng.exponential rng ~mean:2.0
+  done;
+  let mean = !sum /. float_of_int nsamples in
+  Alcotest.(check bool) "exponential mean near 2" true
+    (mean > 1.9 && mean < 2.1);
+  let heads = ref 0 in
+  for _ = 1 to nsamples do
+    if Rng.bool rng ~p:0.3 then incr heads
+  done;
+  let frac = float_of_int !heads /. float_of_int nsamples in
+  Alcotest.(check bool) "bernoulli near 0.3" true (frac > 0.28 && frac < 0.32)
+
+let test_rng_shuffle () =
+  let rng = Rng.create 9 in
+  let arr = Array.init 50 (fun i -> i) in
+  Rng.shuffle rng arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 50 (fun i -> i)) sorted
+
+(* ------------------------------------------------------------------ *)
+(* Event queue                                                         *)
+
+let test_heap_ordering () =
+  let q = Event_queue.create () in
+  let times = [ 5.0; 1.0; 3.0; 1.0; 0.5; 9.0; 3.0 ] in
+  List.iteri (fun i t -> Event_queue.push q ~time:t i) times;
+  let popped = ref [] in
+  let rec drain () =
+    match Event_queue.pop q with
+    | Some (t, v) ->
+        popped := (t, v) :: !popped;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  let popped = List.rev !popped in
+  Alcotest.(check int) "all popped" (List.length times) (List.length popped);
+  let ts = List.map fst popped in
+  Alcotest.(check bool) "sorted" true (List.sort compare ts = ts);
+  (* Ties break by insertion order: the two 1.0s are indices 1 then 3, the
+     two 3.0s are 2 then 6. *)
+  let tie_values t = List.filter (fun (t', _) -> t' = t) popped |> List.map snd in
+  Alcotest.(check (list int)) "fifo ties at 1.0" [ 1; 3 ] (tie_values 1.0);
+  Alcotest.(check (list int)) "fifo ties at 3.0" [ 2; 6 ] (tie_values 3.0)
+
+let heap_qcheck =
+  [
+    QCheck.Test.make ~name:"pops are globally sorted" ~count:200
+      QCheck.(list (float_bound_inclusive 100.0))
+      (fun times ->
+        let q = Event_queue.create () in
+        List.iteri (fun i t -> Event_queue.push q ~time:t i) times;
+        let rec drain acc =
+          match Event_queue.pop q with
+          | Some (t, _) -> drain (t :: acc)
+          | None -> List.rev acc
+        in
+        let out = drain [] in
+        List.sort compare out = out
+        && List.length out = List.length times);
+  ]
+
+let test_heap_interleaved () =
+  let q = Event_queue.create () in
+  Event_queue.push q ~time:2.0 "b";
+  Event_queue.push q ~time:1.0 "a";
+  Alcotest.(check (option (pair (float 0.001) string))) "pop a" (Some (1.0, "a"))
+    (Event_queue.pop q);
+  Event_queue.push q ~time:0.5 "c";
+  Alcotest.(check (option (pair (float 0.001) string))) "pop c" (Some (0.5, "c"))
+    (Event_queue.pop q);
+  Alcotest.(check int) "size" 1 (Event_queue.size q);
+  Event_queue.clear q;
+  Alcotest.(check bool) "cleared" true (Event_queue.is_empty q)
+
+(* ------------------------------------------------------------------ *)
+(* Engine                                                              *)
+
+let test_engine_ordering_and_clock () =
+  let e = Engine.create () in
+  let log = ref [] in
+  ignore (Engine.schedule e ~delay:0.2 (fun () -> log := (`B, Engine.now e) :: !log));
+  ignore (Engine.schedule e ~delay:0.1 (fun () -> log := (`A, Engine.now e) :: !log));
+  ignore (Engine.schedule e ~delay:0.3 (fun () -> log := (`C, Engine.now e) :: !log));
+  Engine.run e;
+  match List.rev !log with
+  | [ (`A, ta); (`B, tb); (`C, tc) ] ->
+      Alcotest.(check (float 1e-9)) "ta" 0.1 ta;
+      Alcotest.(check (float 1e-9)) "tb" 0.2 tb;
+      Alcotest.(check (float 1e-9)) "tc" 0.3 tc
+  | _ -> Alcotest.fail "wrong event order"
+
+let test_engine_cancel () =
+  let e = Engine.create () in
+  let fired = ref false in
+  let timer = Engine.schedule e ~delay:0.1 (fun () -> fired := true) in
+  Alcotest.(check bool) "pending" true (Engine.is_pending timer);
+  Engine.cancel timer;
+  Alcotest.(check bool) "not pending" false (Engine.is_pending timer);
+  Engine.run e;
+  Alcotest.(check bool) "never fired" false !fired
+
+let test_engine_until () =
+  let e = Engine.create () in
+  let count = ref 0 in
+  let rec tick () =
+    incr count;
+    ignore (Engine.schedule e ~delay:1.0 tick)
+  in
+  ignore (Engine.schedule e ~delay:1.0 tick);
+  Engine.run ~until:5.5 e;
+  Alcotest.(check int) "5 ticks" 5 !count;
+  Alcotest.(check (float 1e-9)) "clock at limit" 5.5 (Engine.now e)
+
+let test_engine_nested_schedule () =
+  let e = Engine.create () in
+  let result = ref 0.0 in
+  ignore
+    (Engine.schedule e ~delay:1.0 (fun () ->
+         ignore (Engine.schedule e ~delay:2.0 (fun () -> result := Engine.now e))));
+  Engine.run e;
+  Alcotest.(check (float 1e-9)) "nested at 3.0" 3.0 !result
+
+let test_engine_negative_delay_clamped () =
+  let e = Engine.create () in
+  let at = ref (-1.0) in
+  ignore
+    (Engine.schedule e ~delay:1.0 (fun () ->
+         ignore (Engine.schedule e ~delay:(-5.0) (fun () -> at := Engine.now e))));
+  Engine.run e;
+  Alcotest.(check (float 1e-9)) "clamped to now" 1.0 !at
+
+(* ------------------------------------------------------------------ *)
+(* Latency                                                             *)
+
+let test_latency_models () =
+  let rng = Rng.create 3 in
+  Alcotest.(check (float 1e-12)) "constant" 0.01
+    (Latency.sample (Latency.Constant 0.01) rng);
+  for _ = 1 to 1000 do
+    let v = Latency.sample (Latency.Uniform { lo = 0.001; hi = 0.002 }) rng in
+    Alcotest.(check bool) "uniform in range" true (v >= 0.001 && v <= 0.002);
+    let w =
+      Latency.sample (Latency.Lognormalish { base = 0.0003; jitter = 0.0001 }) rng
+    in
+    Alcotest.(check bool) "lognormalish above base" true (w >= 0.0003)
+  done;
+  Alcotest.(check (float 1e-12)) "mean constant" 0.01 (Latency.mean (Latency.Constant 0.01));
+  Alcotest.(check (float 1e-12)) "mean uniform" 0.0015
+    (Latency.mean (Latency.Uniform { lo = 0.001; hi = 0.002 }))
+
+(* ------------------------------------------------------------------ *)
+(* Network                                                             *)
+
+let mk_net ?(n = 3) ?(bandwidth = None) ?(loss = 0.0)
+    ?(latency = Latency.Constant 0.01) () =
+  let engine = Engine.create ~seed:11 () in
+  let net =
+    Network.create ~engine ~n_nodes:n ~latency
+      ~bandwidth_bytes_per_s:bandwidth ~loss_probability:loss ()
+  in
+  (engine, net)
+
+let test_network_delivery () =
+  let engine, net = mk_net () in
+  let got = ref [] in
+  Network.set_handler net 1 (fun ~src ~bytes msg ->
+      got := (src, bytes, msg, Engine.now engine) :: !got);
+  Network.send net ~src:0 ~dst:1 ~bytes:100 "hello";
+  Engine.run engine;
+  match !got with
+  | [ (src, bytes, msg, t) ] ->
+      Alcotest.(check int) "src" 0 src;
+      Alcotest.(check int) "bytes" 100 bytes;
+      Alcotest.(check string) "payload" "hello" msg;
+      Alcotest.(check (float 1e-9)) "constant delay" 0.01 t
+  | _ -> Alcotest.fail "expected one delivery"
+
+let test_network_fifo_constant_latency () =
+  let engine, net = mk_net () in
+  let got = ref [] in
+  Network.set_handler net 1 (fun ~src:_ ~bytes:_ msg -> got := msg :: !got);
+  List.iter (fun m -> Network.send net ~src:0 ~dst:1 ~bytes:10 m)
+    [ "a"; "b"; "c"; "d" ];
+  Engine.run engine;
+  Alcotest.(check (list string)) "fifo" [ "a"; "b"; "c"; "d" ] (List.rev !got)
+
+let test_network_nic_serialization () =
+  (* 1000 B/s NIC: two 500-byte messages sent back-to-back leave at 0.5 s
+     and 1.0 s, arriving at +latency. *)
+  let engine, net = mk_net ~bandwidth:(Some 1000.0) () in
+  let times = ref [] in
+  Network.set_handler net 1 (fun ~src:_ ~bytes:_ _ ->
+      times := Engine.now engine :: !times);
+  Network.send net ~src:0 ~dst:1 ~bytes:500 "x";
+  Network.send net ~src:0 ~dst:1 ~bytes:500 "y";
+  Engine.run engine;
+  match List.rev !times with
+  | [ t1; t2 ] ->
+      Alcotest.(check (float 1e-9)) "first" 0.51 t1;
+      Alcotest.(check (float 1e-9)) "second serialized" 1.01 t2
+  | _ -> Alcotest.fail "expected two deliveries"
+
+let test_network_crash () =
+  let engine, net = mk_net () in
+  let got = ref 0 in
+  Network.set_handler net 1 (fun ~src:_ ~bytes:_ _ -> incr got);
+  Network.set_handler net 2 (fun ~src:_ ~bytes:_ _ -> incr got);
+  Network.crash net 1;
+  Network.send net ~src:0 ~dst:1 ~bytes:10 "dropped";   (* dst crashed *)
+  Network.send net ~src:1 ~dst:2 ~bytes:10 "suppressed"; (* src crashed *)
+  Network.send net ~src:0 ~dst:2 ~bytes:10 "ok";
+  Engine.run engine;
+  Alcotest.(check int) "only the healthy pair delivered" 1 !got;
+  Alcotest.(check int) "drops counted" 2 (Network.dropped_messages net);
+  Network.recover net 1;
+  Network.send net ~src:0 ~dst:1 ~bytes:10 "back";
+  Engine.run engine;
+  Alcotest.(check int) "recovered" 2 !got
+
+let test_network_in_flight_survives_crash () =
+  (* A message already on the wire still arrives after its sender crashes. *)
+  let engine, net = mk_net () in
+  let got = ref 0 in
+  Network.set_handler net 1 (fun ~src:_ ~bytes:_ _ -> incr got);
+  Network.send net ~src:0 ~dst:1 ~bytes:10 "in-flight";
+  ignore (Engine.schedule engine ~delay:0.001 (fun () -> Network.crash net 0));
+  Engine.run engine;
+  Alcotest.(check int) "delivered" 1 !got
+
+let test_network_partition () =
+  let engine, net = mk_net () in
+  let got = ref 0 in
+  Network.set_handler net 1 (fun ~src:_ ~bytes:_ _ -> incr got);
+  Network.block_link net ~src:0 ~dst:1;
+  Network.send net ~src:0 ~dst:1 ~bytes:10 "blocked";
+  Engine.run engine;
+  Alcotest.(check int) "blocked" 0 !got;
+  Network.unblock_link net ~src:0 ~dst:1;
+  Network.send net ~src:0 ~dst:1 ~bytes:10 "open";
+  Engine.run engine;
+  Alcotest.(check int) "open again" 1 !got;
+  Network.block_link net ~src:0 ~dst:1;
+  Network.heal_partitions net;
+  Network.send net ~src:0 ~dst:1 ~bytes:10 "healed";
+  Engine.run engine;
+  Alcotest.(check int) "healed" 2 !got
+
+let test_network_loss () =
+  let engine, net = mk_net ~n:2 ~loss:0.5 () in
+  let got = ref 0 in
+  Network.set_handler net 1 (fun ~src:_ ~bytes:_ _ -> incr got);
+  for _ = 1 to 1000 do
+    Network.send net ~src:0 ~dst:1 ~bytes:10 "maybe"
+  done;
+  Engine.run engine;
+  Alcotest.(check bool) "roughly half lost" true (!got > 400 && !got < 600);
+  Alcotest.(check int) "sent counts all" 1000 (Network.sent_messages net)
+
+let test_network_accounting () =
+  let engine, net = mk_net () in
+  Network.set_handler net 1 (fun ~src:_ ~bytes:_ _ -> ());
+  Network.send net ~src:0 ~dst:1 ~bytes:100 "a";
+  Network.send net ~src:0 ~dst:1 ~bytes:200 "b";
+  Engine.run engine;
+  Alcotest.(check int) "messages" 2 (Network.sent_messages net);
+  Alcotest.(check int) "bytes" 300 (Network.sent_bytes net);
+  Network.reset_counters net;
+  Alcotest.(check int) "reset" 0 (Network.sent_messages net)
+
+let test_deterministic_replay () =
+  (* Two identically-seeded simulations produce identical delivery traces
+     even with jittery latency. *)
+  let trace seed =
+    let engine = Engine.create ~seed () in
+    let net =
+      Network.create ~engine ~n_nodes:4
+        ~latency:(Latency.Lognormalish { base = 0.001; jitter = 0.002 }) ()
+    in
+    let log = ref [] in
+    for i = 0 to 3 do
+      Network.set_handler net i (fun ~src ~bytes:_ msg ->
+          log := (i, src, msg, Engine.now engine) :: !log)
+    done;
+    for i = 0 to 20 do
+      Network.send net ~src:(i mod 4) ~dst:((i + 1) mod 4) ~bytes:10
+        (string_of_int i)
+    done;
+    Engine.run engine;
+    List.rev !log
+  in
+  Alcotest.(check bool) "same seed, same trace" true (trace 5 = trace 5);
+  Alcotest.(check bool) "different seed, different trace" true
+    (trace 5 <> trace 6)
+
+let () =
+  Alcotest.run "simnet"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "split" `Quick test_rng_split_independent;
+          Alcotest.test_case "distribution sanity" `Slow test_rng_distributions;
+          Alcotest.test_case "shuffle is a permutation" `Quick test_rng_shuffle;
+        ]
+        @ List.map QCheck_alcotest.to_alcotest rng_qcheck );
+      ( "event_queue",
+        [
+          Alcotest.test_case "ordering with fifo ties" `Quick test_heap_ordering;
+          Alcotest.test_case "interleaved push/pop" `Quick test_heap_interleaved;
+        ]
+        @ List.map QCheck_alcotest.to_alcotest heap_qcheck );
+      ( "engine",
+        [
+          Alcotest.test_case "ordering and clock" `Quick
+            test_engine_ordering_and_clock;
+          Alcotest.test_case "cancel" `Quick test_engine_cancel;
+          Alcotest.test_case "run until" `Quick test_engine_until;
+          Alcotest.test_case "nested scheduling" `Quick test_engine_nested_schedule;
+          Alcotest.test_case "negative delay clamped" `Quick
+            test_engine_negative_delay_clamped;
+        ] );
+      ("latency", [ Alcotest.test_case "models" `Quick test_latency_models ]);
+      ( "network",
+        [
+          Alcotest.test_case "delivery" `Quick test_network_delivery;
+          Alcotest.test_case "fifo under constant latency" `Quick
+            test_network_fifo_constant_latency;
+          Alcotest.test_case "nic serialization" `Quick
+            test_network_nic_serialization;
+          Alcotest.test_case "crash and recover" `Quick test_network_crash;
+          Alcotest.test_case "in-flight survives crash" `Quick
+            test_network_in_flight_survives_crash;
+          Alcotest.test_case "partitions" `Quick test_network_partition;
+          Alcotest.test_case "loss" `Quick test_network_loss;
+          Alcotest.test_case "accounting" `Quick test_network_accounting;
+          Alcotest.test_case "deterministic replay" `Quick
+            test_deterministic_replay;
+        ] );
+    ]
