@@ -87,9 +87,41 @@ let scale =
     value & opt float 1.0
     & info [ "scale" ] ~docv:"S" ~doc:"Scale experiment durations by S.")
 
+let trace_file =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:"Write a structured event trace of the run to $(docv).")
+
+let trace_format =
+  Arg.(
+    value
+    & opt
+        (enum
+           [
+             ("jsonl", Poe_obs.Trace.Jsonl); ("chrome", Poe_obs.Trace.Chrome);
+           ])
+        Poe_obs.Trace.Jsonl
+    & info [ "trace-format" ] ~docv:"FORMAT"
+        ~doc:
+          "Trace file format: $(b,jsonl) (one event per line) or $(b,chrome) \
+           (Chrome trace_event JSON, loadable in Perfetto / chrome://tracing).")
+
+let metrics_flag =
+  Arg.(
+    value & flag
+    & info [ "metrics" ]
+        ~doc:
+          "Collect counters, latency histograms and lane-utilization samples \
+           during the run and print a summary afterwards.")
+
+let obs_args trace_file trace_format =
+  Option.map (fun path -> (trace_format, path)) trace_file
+
 let run_cmd =
   let run protocol n batch_size clients zero crash_backup crash_primary_at
-      no_ooo duration seed =
+      no_ooo duration seed trace_file trace_format metrics =
     let (module P : R.Protocol_intf.S) =
       match protocol with
       | E.Poe -> (module Poe_core.Poe_protocol)
@@ -115,12 +147,22 @@ let run_cmd =
     let params =
       { (Cluster.default_params ~config) with warmup = 0.6; measure = duration }
     in
-    let c = C.build params in
-    if crash_backup then C.crash_replica c (n - 1) ~at:0.05;
-    (match crash_primary_at with
-    | Some t -> C.crash_replica c 0 ~at:t
-    | None -> ());
-    C.run c;
+    let c =
+      E.instrumented
+        ~node_name:(fun id ->
+          if id < n then Printf.sprintf "replica %d" id
+          else Printf.sprintf "hub %d" (id - n))
+        ?trace:(obs_args trace_file trace_format)
+        ~metrics
+        (fun () ->
+          let c = C.build params in
+          if crash_backup then C.crash_replica c (n - 1) ~at:0.05;
+          (match crash_primary_at with
+          | Some t -> C.crash_replica c 0 ~at:t
+          | None -> ());
+          C.run c;
+          c)
+    in
     Format.printf
       "protocol=%s n=%d batch=%d payload=%s clients=%d%s@\n\
        throughput   %10.0f txn/s@\n\
@@ -141,7 +183,8 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc:"Simulate one deployment of a protocol.")
     Term.(
       const run $ protocol $ replicas $ batch_size $ clients $ zero_payload
-      $ crash_backup $ crash_primary_at $ no_ooo $ duration $ seed)
+      $ crash_backup $ crash_primary_at $ no_ooo $ duration $ seed $ trace_file
+      $ trace_format $ metrics_flag)
 
 let experiments : (string * string * (float -> unit)) list =
   let fmt = Format.std_formatter in
@@ -203,10 +246,13 @@ let experiment_cmd =
       & pos 0 (some string) None
       & info [] ~docv:"EXPERIMENT" ~doc:"Experiment id (see $(b,list)).")
   in
-  let run name scale =
+  let run name scale trace_file trace_format metrics =
     match List.find_opt (fun (id, _, _) -> id = name) experiments with
     | Some (_, _, f) ->
-        f scale;
+        E.instrumented
+          ?trace:(obs_args trace_file trace_format)
+          ~metrics
+          (fun () -> f scale);
         `Ok ()
     | None ->
         `Error
@@ -214,7 +260,10 @@ let experiment_cmd =
   in
   Cmd.v
     (Cmd.info "experiment" ~doc:"Regenerate one of the paper's figures.")
-    Term.(ret (const run $ name_arg $ scale))
+    Term.(
+      ret
+        (const run $ name_arg $ scale $ trace_file $ trace_format
+       $ metrics_flag))
 
 let list_cmd =
   let run () =
@@ -228,8 +277,11 @@ let list_cmd =
 
 let () =
   let doc = "Proof-of-Execution (EDBT 2021) reproduction driver" in
-  exit
-    (Cmd.eval
-       (Cmd.group
-          (Cmd.info "poe_sim" ~doc)
-          [ run_cmd; experiment_cmd; list_cmd ]))
+  match
+    Cmd.eval ~catch:false
+      (Cmd.group (Cmd.info "poe_sim" ~doc) [ run_cmd; experiment_cmd; list_cmd ])
+  with
+  | code -> exit code
+  | exception (Failure msg | Sys_error msg) ->
+      Format.eprintf "poe_sim: %s@." msg;
+      exit 1

@@ -70,7 +70,7 @@ module Make (P : R.Protocol_intf.S) = struct
     in
     let replicas =
       Array.init n (fun id ->
-          let server = Server.create ~engine () in
+          let server = Server.create ~engine ~node:id () in
           let threshold =
             Option.map (fun (scheme, signers) -> (scheme, signers.(id)))
               threshold_material
@@ -111,6 +111,38 @@ module Make (P : R.Protocol_intf.S) = struct
               Hub.on_network_message hub ~src msg);
           hub)
     in
+    (* Lane telemetry: armed only when a metrics registry was installed
+       before the cluster was built, so unobserved runs schedule nothing. *)
+    (if Poe_obs.Metrics.enabled () then begin
+       let resources =
+         [| Server.Io; Server.Batcher; Server.Worker; Server.Execute |]
+       in
+       let prev = Array.make_matrix n (Array.length resources) 0.0 in
+       let interval = 0.05 in
+       let rec sample () =
+         Array.iteri
+           (fun id replica ->
+             let srv = Ctx.server (P.ctx replica) in
+             Array.iteri
+               (fun ri r ->
+                 let name = Server.resource_name r in
+                 let busy = Server.busy_seconds srv r in
+                 (* Busy-seconds accrued per simulated second, summed over
+                    the resource's lanes (so > 1.0 means more than one lane
+                    was kept busy). *)
+                 Poe_obs.Metrics.hobs
+                   ("lane." ^ name ^ ".utilization")
+                   ((busy -. prev.(id).(ri)) /. interval);
+                 prev.(id).(ri) <- busy;
+                 Poe_obs.Metrics.hobs
+                   ("lane." ^ name ^ ".queue_depth")
+                   (Server.backlog srv r))
+               resources)
+           replicas;
+         ignore (Engine.schedule engine ~delay:interval sample)
+       in
+       ignore (Engine.schedule engine ~delay:interval sample)
+     end);
     ignore
       (Engine.schedule engine ~delay:0.0 (fun () ->
            Array.iter P.start_replica replicas;

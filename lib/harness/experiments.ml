@@ -122,6 +122,46 @@ let run protocol spec =
   run_spec (module P) spec
 
 (* ------------------------------------------------------------------ *)
+(* Observability                                                       *)
+
+module Trace = Poe_obs.Trace
+module Metrics = Poe_obs.Metrics
+
+let instrumented ?node_name ?trace ?(metrics = false) f =
+  (* Fail before the (possibly long) run if the trace path is unwritable. *)
+  (match trace with
+  | Some (_, path) -> (
+      try close_out (open_out path)
+      with Sys_error msg -> failwith ("cannot write trace file: " ^ msg))
+  | None -> ());
+  let tracer = Option.map (fun _ -> Trace.create ()) trace in
+  (match tracer with Some tr -> Trace.set tr | None -> ());
+  let registry = if metrics then Some (Metrics.create ()) else None in
+  (match registry with Some r -> Metrics.set_current r | None -> ());
+  let cleanup () =
+    Trace.clear ();
+    Metrics.clear_current ()
+  in
+  match f () with
+  | v ->
+      cleanup ();
+      (match (tracer, trace) with
+      | Some tr, Some (format, path) ->
+          Trace.write_file ?node_name tr ~format ~path;
+          Format.printf "trace: %d events (%d dropped) -> %s (%s)@."
+            (List.length (Trace.events tr))
+            (Trace.dropped tr) path
+            (Trace.format_name format)
+      | _ -> ());
+      (match registry with
+      | Some r -> Format.printf "%a" Metrics.pp_summary r
+      | None -> ());
+      v
+  | exception e ->
+      cleanup ();
+      raise e
+
+(* ------------------------------------------------------------------ *)
 (* Printing                                                            *)
 
 let print_series fmt s =

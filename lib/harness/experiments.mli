@@ -32,6 +32,18 @@ type series = {
 val print_series : Format.formatter -> series -> unit
 (** Aligned table, protocols × swept parameter. *)
 
+val instrumented :
+  ?node_name:(int -> string) ->
+  ?trace:Poe_obs.Trace.format * string ->
+  ?metrics:bool ->
+  (unit -> 'a) ->
+  'a
+(** [instrumented ?trace ?metrics f] runs [f] with a fresh trace sink
+    and/or metrics registry installed as the process-wide current ones
+    (clusters built inside [f] pick them up). On return the trace is
+    written to the given path in the given format and the metrics summary
+    is printed to stdout; both are uninstalled even if [f] raises. *)
+
 (** {1 The experiments} *)
 
 val fig1_message_census : ?scale:float -> unit -> series

@@ -11,6 +11,9 @@ module Block = Poe_ledger.Block
 
 let name = "hotstuff"
 
+module Trace = Poe_obs.Trace
+module Metrics = Poe_obs.Metrics
+
 type Message.t +=
   | Hs_proposal of { round : int; batch : Message.batch; qc_round : int }
       (** leader of [round] → all; [qc_round] is certified by the carried
@@ -56,6 +59,13 @@ let leader_of t round = round mod n t
 
 let block_digest (b : Message.batch) = b.Message.digest
 
+(* A HotStuff "slot" is a round: it opens at the proposal and closes when
+   the three-chain rule commits it and Exec_engine executes it. *)
+let tr_phase t ~round phase =
+  if Trace.enabled () then
+    Trace.phase ~ts:(Ctx.now t.ctx) ~node:(Ctx.id t.ctx) ~cat:name ~view:round
+      ~seqno:round phase
+
 let empty_block round =
   { Message.digest = Printf.sprintf "hs-empty-%d" round; reqs = [||] }
 
@@ -76,6 +86,7 @@ let commit_upto t upto =
       match Hashtbl.find_opt t.blocks r with
       | Some batch when not (Hashtbl.mem t.skipped r) ->
           release_requests batch;
+          tr_phase t ~round:r "commit";
           Exec.offer t.exec ~seqno:r ~view:r ~batch
             ~proof:(Block.Threshold_sig "hs-qc");
           t.committed_upto <- r;
@@ -110,6 +121,10 @@ let rec arm_timer t =
          if generation = t.timer_generation && t.round < expected then begin
            (* The round stalled: ask its leader (or, on repeat, the next
               one) to take over with our NEW-VIEW. *)
+           if Trace.enabled () then
+             Trace.instant ~ts:(Ctx.now t.ctx) ~node:(Ctx.id t.ctx) ~cat:name
+               ~view:expected "pacemaker_timeout";
+           if Metrics.enabled () then Metrics.cincr "hotstuff.pacemaker_timeouts";
            Ctx.send_replica t.ctx ~dst:(leader_of t expected)
              ~bytes:Message.Wire.vote
              (Hs_new_view { round = expected });
@@ -174,6 +189,7 @@ and on_proposal t ~src ~round ~(batch : Message.batch) ~qc_round =
        jitter) so commitment never waits on a block we already saw. *)
     if not (Hashtbl.mem t.blocks round) then begin
       Hashtbl.replace t.blocks round batch;
+      tr_phase t ~round "propose";
       Array.iter
         (fun req -> Hashtbl.replace t.in_chain (Message.request_key req) ())
         batch.Message.reqs
@@ -195,6 +211,7 @@ and on_proposal t ~src ~round ~(batch : Message.batch) ~qc_round =
           (Cost.hash_cost c ~bytes:(Message.Wire.propose (cfg t))
           +. c.Cost.ts_share_sign)
         (fun () ->
+          tr_phase t ~round "vote";
           Ctx.send_replica t.ctx
             ~dst:(leader_of t (round + 1))
             ~bytes:Message.Wire.vote
@@ -246,6 +263,10 @@ and on_new_view t ~src ~round =
   then begin
     (* Lead the round even though its predecessor stalled: extend our
        highest QC; the gap rounds will commit as empty blocks. *)
+    if Trace.enabled () then
+      Trace.instant ~ts:(Ctx.now t.ctx) ~node:(Ctx.id t.ctx) ~cat:name
+        ~view:round "new_view";
+    if Metrics.enabled () then Metrics.cincr "hotstuff.new_views";
     t.round <- max t.round (round - 1);
     let reqs = next_batch t in
     t.proposed_for <- round;

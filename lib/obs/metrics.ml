@@ -1,0 +1,184 @@
+type counter = { mutable c : int }
+type gauge = { mutable g : float }
+
+(* Log-bucketed histogram: bucket boundaries grow geometrically by
+   [bucket_ratio] from [lo] to [hi], giving ~9% worst-case relative
+   error on quantiles over the full 1 ns .. 10 000 s span. *)
+let lo = 1e-9
+let hi = 1e4
+let bucket_ratio = Float.exp (Float.log 2.0 /. 8.0) (* 2^(1/8) ~ 1.0905 *)
+
+let log_ratio = Float.log bucket_ratio
+let n_buckets = 2 + int_of_float (ceil (Float.log (hi /. lo) /. log_ratio))
+
+type histogram = {
+  mutable n : int;
+  mutable sum : float;
+  mutable max_v : float;
+  buckets : int array;
+}
+
+type t = {
+  counters : (string, counter) Hashtbl.t;
+  gauges : (string, gauge) Hashtbl.t;
+  histograms : (string, histogram) Hashtbl.t;
+}
+
+let create () =
+  {
+    counters = Hashtbl.create 64;
+    gauges = Hashtbl.create 64;
+    histograms = Hashtbl.create 64;
+  }
+
+let get_or tbl name mk =
+  match Hashtbl.find_opt tbl name with
+  | Some v -> v
+  | None ->
+      let v = mk () in
+      Hashtbl.replace tbl name v;
+      v
+
+let counter t name = get_or t.counters name (fun () -> { c = 0 })
+let gauge t name = get_or t.gauges name (fun () -> { g = 0.0 })
+
+let histogram t name =
+  get_or t.histograms name (fun () ->
+      { n = 0; sum = 0.0; max_v = 0.0; buckets = Array.make n_buckets 0 })
+
+let incr ?(by = 1) c = c.c <- c.c + by
+let counter_value c = c.c
+
+let set g v = g.g <- v
+let gauge_value g = g.g
+
+let bucket_of v =
+  if v <= lo then 0
+  else if v >= hi then n_buckets - 1
+  else
+    let i = 1 + int_of_float (Float.log (v /. lo) /. log_ratio) in
+    if i >= n_buckets then n_buckets - 1 else i
+
+(* Upper edge of bucket [i]: every sample in it is <= this value. *)
+let bucket_upper i = if i = 0 then lo else lo *. Float.pow bucket_ratio (float_of_int i)
+
+let observe h v =
+  h.n <- h.n + 1;
+  h.sum <- h.sum +. v;
+  if v > h.max_v then h.max_v <- v;
+  let b = bucket_of v in
+  h.buckets.(b) <- h.buckets.(b) + 1
+
+let hist_count h = h.n
+let hist_sum h = h.sum
+let hist_max h = h.max_v
+
+let quantile h q =
+  if h.n = 0 then 0.0
+  else begin
+    let q = Float.max 0.0 (Float.min 1.0 q) in
+    let target = max 1 (int_of_float (ceil (q *. float_of_int h.n))) in
+    let cum = ref 0 in
+    let result = ref (bucket_upper (n_buckets - 1)) in
+    (try
+       for i = 0 to n_buckets - 1 do
+         cum := !cum + h.buckets.(i);
+         if !cum >= target then begin
+           result := bucket_upper i;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    (* The histogram's max is a tighter bound than the top bucket edge. *)
+    Float.min !result h.max_v
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Current registry                                                    *)
+
+let current : t option ref = ref None
+
+let set_current t = current := Some t
+let clear_current () = current := None
+let enabled () = !current <> None
+
+let cincr ?by name =
+  match !current with None -> () | Some t -> incr ?by (counter t name)
+
+let gset name v = match !current with None -> () | Some t -> set (gauge t name) v
+
+let hobs name v =
+  match !current with None -> () | Some t -> observe (histogram t name) v
+
+(* ------------------------------------------------------------------ *)
+(* Dump                                                                *)
+
+type row =
+  | Counter_row of string * int
+  | Gauge_row of string * float
+  | Histogram_row of string * int * float * float * float * float * float
+
+let sorted_keys tbl =
+  Hashtbl.fold (fun k _ acc -> k :: acc) tbl [] |> List.sort compare
+
+let rows t =
+  let counters =
+    sorted_keys t.counters
+    |> List.map (fun k -> Counter_row (k, (Hashtbl.find t.counters k).c))
+  in
+  let gauges =
+    sorted_keys t.gauges
+    |> List.map (fun k -> Gauge_row (k, (Hashtbl.find t.gauges k).g))
+  in
+  let hists =
+    sorted_keys t.histograms
+    |> List.map (fun k ->
+           let h = Hashtbl.find t.histograms k in
+           let mean = if h.n = 0 then 0.0 else h.sum /. float_of_int h.n in
+           Histogram_row
+             ( k,
+               h.n,
+               mean,
+               quantile h 0.50,
+               quantile h 0.95,
+               quantile h 0.99,
+               h.max_v ))
+  in
+  counters @ gauges @ hists
+
+let pp_summary fmt t =
+  let rs = rows t in
+  let has_counters =
+    List.exists (function Counter_row _ -> true | _ -> false) rs
+  in
+  let has_gauges = List.exists (function Gauge_row _ -> true | _ -> false) rs in
+  let has_hists =
+    List.exists (function Histogram_row _ -> true | _ -> false) rs
+  in
+  if has_counters then begin
+    Format.fprintf fmt "counters:@.";
+    List.iter
+      (function
+        | Counter_row (name, v) -> Format.fprintf fmt "  %-40s %12d@." name v
+        | Gauge_row _ | Histogram_row _ -> ())
+      rs
+  end;
+  if has_gauges then begin
+    Format.fprintf fmt "gauges:@.";
+    List.iter
+      (function
+        | Gauge_row (name, v) -> Format.fprintf fmt "  %-40s %12.6g@." name v
+        | Counter_row _ | Histogram_row _ -> ())
+      rs
+  end;
+  if has_hists then begin
+    Format.fprintf fmt "histograms:%41s %10s %10s %10s %10s %10s@." "count"
+      "mean" "p50" "p95" "p99" "max";
+    List.iter
+      (function
+        | Histogram_row (name, n, mean, p50, p95, p99, max_v) ->
+            Format.fprintf fmt "  %-40s %9d %10.6f %10.6f %10.6f %10.6f %10.6f@."
+              name n mean p50 p95 p99 max_v
+        | Counter_row _ | Gauge_row _ -> ())
+      rs
+  end

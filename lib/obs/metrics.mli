@@ -1,0 +1,74 @@
+(** A metrics registry: counters, gauges, and log-bucketed latency
+    histograms with quantile estimation.
+
+    Like {!Trace}, metrics are opt-in through a module-level current
+    registry; the [c*]/[g*]/[h*] convenience emitters are no-ops when
+    none is installed, so instrumented paths cost one load-and-branch
+    when metrics are off.
+
+    Dumps are deterministic: entries are sorted by name and all values
+    derive from simulated time and event counts, never wall-clock. *)
+
+type counter
+type gauge
+type histogram
+
+type t
+
+val create : unit -> t
+
+(** {1 Registration (get-or-create by name)} *)
+
+val counter : t -> string -> counter
+val gauge : t -> string -> gauge
+val histogram : t -> string -> histogram
+
+(** {1 Updates} *)
+
+val incr : ?by:int -> counter -> unit
+val counter_value : counter -> int
+
+val set : gauge -> float -> unit
+val gauge_value : gauge -> float
+
+val observe : histogram -> float -> unit
+(** Record a sample. Values are clamped into the bucketed range
+    [[1e-9, 1e4]] (seconds). *)
+
+val hist_count : histogram -> int
+val hist_sum : histogram -> float
+val hist_max : histogram -> float
+
+val quantile : histogram -> float -> float
+(** [quantile h q] for [q] in [[0, 1]]: an upper bound on the [q]-th
+    quantile of the observed samples, exact to within one log bucket
+    (relative error bounded by {!bucket_ratio}). 0 when empty. *)
+
+val bucket_ratio : float
+(** Ratio between consecutive histogram bucket boundaries. *)
+
+(** {1 The current registry} *)
+
+val set_current : t -> unit
+val clear_current : unit -> unit
+val enabled : unit -> bool
+
+val cincr : ?by:int -> string -> unit
+(** Increment a counter in the current registry (no-op when disabled). *)
+
+val gset : string -> float -> unit
+val hobs : string -> float -> unit
+
+(** {1 Dump} *)
+
+type row =
+  | Counter_row of string * int
+  | Gauge_row of string * float
+  | Histogram_row of string * int * float * float * float * float * float
+      (** name, count, mean, p50, p95, p99, max *)
+
+val rows : t -> row list
+(** All registered metrics, sorted by name (deterministic). *)
+
+val pp_summary : Format.formatter -> t -> unit
+(** Human-readable table of {!rows}. *)

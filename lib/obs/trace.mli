@@ -1,0 +1,120 @@
+(** Structured tracing for the simulator.
+
+    Events carry the simulated timestamp (always [Engine.now], never
+    wall-clock), the emitting node, a category (protocol or subsystem
+    name), an event name, and optional consensus coordinates (view,
+    seqno) plus free-form arguments. Events land in a fixed-capacity
+    ring buffer; exporters turn the retained window into JSONL or
+    Chrome [trace_event] JSON (loadable in Perfetto, one track per
+    node, per-slot async spans nesting the consensus phases).
+
+    Tracing is opt-in through a module-level current sink: with no
+    sink installed every emitter is a single load-and-branch, so the
+    instrumented hot paths cost nothing measurable when disabled.
+    Call sites on very hot paths should additionally guard with
+    {!enabled} so argument lists are never even allocated. *)
+
+type arg = I of int | F of float | S of string
+
+type ph =
+  | Span_begin
+  | Span_end
+  | Instant
+  | Complete of float  (** self-contained span; payload is the duration *)
+
+type event = {
+  ts : float;  (** simulated seconds *)
+  node : int;  (** replica id, or [n + hub] for client hubs *)
+  tid : int;  (** sub-track within the node (e.g. a CPU lane); 0 = default *)
+  cat : string;  (** protocol or subsystem: "poe", "net", "server", ... *)
+  name : string;  (** event or phase name: "propose", "send", ... *)
+  ph : ph;
+  view : int;  (** -1 when not applicable *)
+  seqno : int;  (** -1 when not applicable *)
+  args : (string * arg) list;
+}
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Ring buffer of [capacity] events (default [1 lsl 18]); once full,
+    the oldest events are overwritten. *)
+
+val events : t -> event list
+(** Retained events, oldest first. *)
+
+val dropped : t -> int
+(** Events overwritten because the ring wrapped. *)
+
+(** {1 The current sink}
+
+    The simulator is single-threaded, so one module-level sink
+    suffices; tests and the CLI install one around a run. *)
+
+val set : t -> unit
+val clear : unit -> unit
+val enabled : unit -> bool
+
+(** {1 Emitters}
+
+    All emitters are no-ops when no sink is installed. *)
+
+val instant :
+  ?view:int ->
+  ?seqno:int ->
+  ?tid:int ->
+  ?args:(string * arg) list ->
+  ts:float ->
+  node:int ->
+  cat:string ->
+  string ->
+  unit
+(** A point event (Chrome "i"). *)
+
+val complete :
+  ?tid:int ->
+  ?args:(string * arg) list ->
+  ts:float ->
+  dur:float ->
+  node:int ->
+  cat:string ->
+  string ->
+  unit
+(** A self-contained span (Chrome "X"), e.g. one work item on a CPU
+    lane: starts at [ts], lasts [dur]. *)
+
+val phase :
+  ts:float -> node:int -> cat:string -> view:int -> seqno:int -> string -> unit
+(** Record that consensus slot [seqno] on [node] entered the named
+    phase. The first phase of a slot opens an enclosing "slot" span;
+    each subsequent distinct phase closes the previous phase span and
+    opens the next, so a committed slot renders as
+    slot[propose[...]support[...]certify[...]execute[...]]. Calling
+    [phase] again with the current phase name is a no-op. *)
+
+val slot_done : ts:float -> node:int -> view:int -> seqno:int -> float option
+(** Close the open phase and the slot span for [(node, seqno)].
+    Returns the slot's total duration (first phase to [ts]), or [None]
+    if no slot was open (e.g. a slot adopted via state transfer). *)
+
+(** {1 Export} *)
+
+type format = Jsonl | Chrome
+
+val format_of_string : string -> (format, string) result
+val format_name : format -> string
+
+val export_jsonl : t -> Buffer.t -> unit
+(** One JSON object per line, field-for-field the {!event} record.
+    Output is deterministic: events appear in emission order and all
+    numbers are formatted with fixed precision. *)
+
+val export_chrome : ?node_name:(int -> string) -> t -> Buffer.t -> unit
+(** Chrome [trace_event] JSON ({["traceEvents": [...]]}) suitable for
+    Perfetto. Each node becomes a process (named by [node_name],
+    default ["node %d"]); slot spans and their nested phases are async
+    events keyed per (node, seqno); {!complete} spans and instants are
+    placed on the node's threads. *)
+
+val write_file :
+  ?node_name:(int -> string) -> t -> format:format -> path:string -> unit

@@ -12,6 +12,9 @@ module Block = Poe_ledger.Block
 
 let name = "pbft"
 
+module Trace = Poe_obs.Trace
+module Metrics = Poe_obs.Metrics
+
 type vc_payload = {
   from_view : int;
   exec_upto : int;
@@ -73,6 +76,16 @@ let fq t = Config.f (cfg t)
 let is_primary t = Ctx.is_primary_of t.ctx t.view
 let active_in t view = t.status = Active && view = t.view
 
+let tr_phase t ~view ~seqno phase =
+  if Trace.enabled () then
+    Trace.phase ~ts:(Ctx.now t.ctx) ~node:(Ctx.id t.ctx) ~cat:name ~view ~seqno
+      phase
+
+let tr_instant t what =
+  if Trace.enabled () then
+    Trace.instant ~ts:(Ctx.now t.ctx) ~node:(Ctx.id t.ctx) ~cat:name
+      ~view:t.view what
+
 let slot_digest ~view ~seqno ~batch_digest =
   Printf.sprintf "%d|%d|" seqno view ^ batch_digest
 
@@ -121,6 +134,7 @@ let try_commit t ~view ~seqno slot =
       in
       if matching >= nf t then begin
         slot.committed <- true;
+        tr_phase t ~view ~seqno "commit";
         maybe_offer t ~view ~seqno slot
       end
   | Some _ | None -> ()
@@ -137,6 +151,7 @@ let try_prepare t ~view ~seqno slot =
       in
       if matching >= nf t then begin
         slot.prepared <- true;
+        tr_phase t ~view ~seqno "prepare";
         if not slot.commit_sent then begin
           slot.commit_sent <- true;
           let c = costs t in
@@ -152,6 +167,7 @@ let try_prepare t ~view ~seqno slot =
 
 (* Accept a pre-prepare: record it, send our PREPARE. *)
 let accept_preprepare t ~view ~seqno slot (batch : Message.batch) =
+  tr_phase t ~view ~seqno "propose";
   let digest = slot_digest ~view ~seqno ~batch_digest:batch.Message.digest in
   slot.batch <- Some batch;
   slot.digest <- Some digest;
@@ -311,6 +327,8 @@ let rec initiate_view_change t ~from_view =
     match t.status with In_view_change v -> v >= from_view | Active -> false
   in
   if (not already) && from_view >= t.view then begin
+    tr_instant t "view_change";
+    if Metrics.enabled () then Metrics.cincr "pbft.view_changes";
     t.status <- In_view_change from_view;
     t.nv_deadline <- Ctx.now t.ctx +. nv_deadline_for t;
     t.vc_round <- t.vc_round + 1;
@@ -415,6 +433,8 @@ and enter_new_view t ~new_view ~vcs =
   t.view <- new_view;
   t.status <- Active;
   t.vc_round <- 0;
+  tr_instant t "new_view";
+  if Metrics.enabled () then Metrics.cincr "pbft.new_views";
   let max_reproposed =
     Hashtbl.fold (fun s _ acc -> max s acc) reproposals kmax
   in

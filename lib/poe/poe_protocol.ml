@@ -14,6 +14,9 @@ open Poe_msg
 
 let name = "poe"
 
+module Trace = Poe_obs.Trace
+module Metrics = Poe_obs.Metrics
+
 (* Per-(view, seqno) consensus slot. *)
 type slot = {
   mutable batch : Message.batch option;
@@ -78,6 +81,19 @@ let slot_key ~view ~seqno = (view lsl 40) lor seqno
 let slot_key_view key = key lsr 40
 let slot_key_seqno key = key land ((1 lsl 40) - 1)
 
+(* Consensus-slot phase events (propose -> support -> certify; the execute
+   phase and slot close are emitted by {!Exec_engine}). Pre-guarded: a
+   disabled run pays one load-and-branch per call. *)
+let tr_phase t ~view ~seqno phase =
+  if Trace.enabled () then
+    Trace.phase ~ts:(Ctx.now t.ctx) ~node:(Ctx.id t.ctx) ~cat:name ~view ~seqno
+      phase
+
+let tr_instant t what =
+  if Trace.enabled () then
+    Trace.instant ~ts:(Ctx.now t.ctx) ~node:(Ctx.id t.ctx) ~cat:name
+      ~view:t.view what
+
 let slot_of t ~view ~seqno =
   match Hashtbl.find_opt t.slots (slot_key ~view ~seqno) with
   | Some s -> s
@@ -105,6 +121,7 @@ let maybe_offer t ~view ~seqno slot =
   match slot.batch with
   | Some batch when slot.certified && not slot.offered ->
       slot.offered <- true;
+      tr_phase t ~view ~seqno "certify";
       let proof =
         if ts_variant t then Block.Threshold_sig "certify"
         else
@@ -167,6 +184,7 @@ let mac_try_commit t ~view ~seqno slot =
   | Some _ | None -> ()
 
 let support_slot t ~view ~seqno slot (batch : Message.batch) =
+  tr_phase t ~view ~seqno "support";
   let digest = support_digest ~view ~seqno ~batch_digest:batch.Message.digest in
   slot.my_digest <- Some digest;
   slot.batch <- Some batch;
@@ -273,6 +291,7 @@ let on_propose t ~src ~view ~seqno (batch : Message.batch) =
     let slot = slot_of t ~view ~seqno in
     if slot.batch = None && slot.my_digest = None then begin
       slot.batch <- Some batch;
+      tr_phase t ~view ~seqno "propose";
       if active_in t view then back_proposal t ~view ~seqno slot
     end
   end
@@ -343,6 +362,7 @@ let propose_batch t (batch : Message.batch) =
     let seqno = t.next_seqno in
     t.next_seqno <- seqno + 1;
     let view = t.view in
+    tr_phase t ~view ~seqno "propose";
     let bytes = Message.Wire.propose (cfg t) in
     (match Ctx.behavior t.ctx with
     | Ctx.Honest ->
@@ -379,6 +399,7 @@ let propose_batch t (batch : Message.batch) =
     slot.batch <- Some batch;
     slot.my_digest <- Some digest;
     Hashtbl.replace slot.supports (Ctx.id t.ctx) digest;
+    tr_phase t ~view ~seqno "support";
     if ts_variant t then begin
       slot.verified_supports <- 1;
       (match Ctx.threshold t.ctx with
@@ -429,6 +450,8 @@ let rec initiate_view_change t ~from_view =
     | Active -> false
   in
   if (not already_requested) && from_view >= t.view then begin
+    tr_instant t "view_change";
+    if Metrics.enabled () then Metrics.cincr "poe.view_changes";
     t.status <- In_view_change from_view;
     (* Timeout starts at δ and doubles with each consecutive view change
        (exponential backoff, proof of Theorem 7). *)
@@ -543,6 +566,8 @@ and enter_new_view t ~new_view ~vcs =
   t.view <- new_view;
   t.status <- Active;
   t.vc_round <- 0;
+  tr_instant t "new_view";
+  if Metrics.enabled () then Metrics.cincr "poe.new_views";
   t.last_nv <- Some (new_view, vcs);
   t.next_seqno <- kmax + 1;
   (* Stale per-view consensus state is dead: every undecided proposal of

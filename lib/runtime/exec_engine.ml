@@ -81,6 +81,20 @@ let send_responses t ~view ~seqno ~(batch : Message.batch) ~result_digest =
 
 let finish t ~view ~seqno ~batch ~proof =
   let result_digest = Replica_ctx.execute_batch t.ctx ~view ~seqno batch ~proof in
+  if Poe_obs.Trace.enabled () then begin
+    (* Close the consensus-slot span opened by the protocol's first phase
+       event; its duration is the slot's propose-to-executed latency. *)
+    match
+      Poe_obs.Trace.slot_done ~ts:(Replica_ctx.now t.ctx)
+        ~node:(Replica_ctx.id t.ctx) ~view ~seqno
+    with
+    | Some dur -> Poe_obs.Metrics.hobs "exec.slot_latency" dur
+    | None -> ()
+  end;
+  if Poe_obs.Metrics.enabled () then begin
+    Poe_obs.Metrics.cincr "exec.batches";
+    Poe_obs.Metrics.cincr ~by:(Array.length batch.Message.reqs) "exec.txns"
+  end;
   (* One designated observer replica counts the cluster's consensus
      decisions: a plain backup (never the primary of view 0, never SBFT's
      collector, never the replica the failure experiments crash), so its
@@ -108,6 +122,9 @@ let rec pump t =
   | Some (view, batch, proof) ->
       Hashtbl.remove t.ready next;
       t.k_sched <- next;
+      if Poe_obs.Trace.enabled () then
+        Poe_obs.Trace.phase ~ts:(Replica_ctx.now t.ctx)
+          ~node:(Replica_ctx.id t.ctx) ~cat:"exec" ~view ~seqno:next "execute";
       let cost = Replica_ctx.cost t.ctx in
       let cfg = Replica_ctx.config t.ctx in
       (* Execution plus signing the per-request INFORMs (the execute

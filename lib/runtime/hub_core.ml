@@ -135,8 +135,13 @@ let complete t rs =
   if Hashtbl.mem t.outstanding key then begin
     Hashtbl.remove t.outstanding key;
     t.completed <- t.completed + 1;
-    Stats.record_completion t.stats ~now:(Engine.now t.engine)
+    let now = Engine.now t.engine in
+    Stats.record_completion t.stats ~now
       ~submitted:rs.req.Message.submitted ~count:1;
+    if Poe_obs.Metrics.enabled () then begin
+      Poe_obs.Metrics.cincr "client.completed";
+      Poe_obs.Metrics.hobs "client.latency" (now -. rs.req.Message.submitted)
+    end;
     submit_next t rs.req.Message.client
   end
 
@@ -181,6 +186,12 @@ let forward_to_all t rs =
 
 let handle_timeout t rs =
   rs.retries <- rs.retries + 1;
+  if Poe_obs.Trace.enabled () then
+    Poe_obs.Trace.instant ~ts:(Engine.now t.engine) ~node:(node_id t)
+      ~cat:"client"
+      ~args:[ ("retries", Poe_obs.Trace.I rs.retries) ]
+      "request_timeout";
+  if Poe_obs.Metrics.enabled () then Poe_obs.Metrics.cincr "client.timeouts";
   match t.hooks.on_timeout with
   | Some f -> f t rs
   | None -> forward_to_all t rs

@@ -31,6 +31,22 @@ let close_batch t =
   let size = min cfg.Config.batch_size (Queue.length t.queue) in
   if size > 0 then begin
     let reqs = List.init size (fun _ -> Queue.pop t.queue) in
+    if Poe_obs.Trace.enabled () then
+      Poe_obs.Trace.instant ~ts:(Replica_ctx.now t.ctx)
+        ~node:(Replica_ctx.id t.ctx) ~cat:"pipeline"
+        ~args:
+          [
+            ("size", Poe_obs.Trace.I size);
+            ("queued", Poe_obs.Trace.I (Queue.length t.queue));
+          ]
+        "close_batch";
+    if Poe_obs.Metrics.enabled () then begin
+      Poe_obs.Metrics.cincr "pipeline.batches";
+      Poe_obs.Metrics.cincr ~by:size "pipeline.batched_requests";
+      Poe_obs.Metrics.hobs "pipeline.batch_size" (float_of_int size);
+      Poe_obs.Metrics.hobs "pipeline.queue_depth"
+        (float_of_int (Queue.length t.queue))
+    end;
     let cost = Replica_ctx.cost t.ctx in
     let cpu =
       (float_of_int size *. cost.Cost.batch_per_req)

@@ -99,6 +99,11 @@ let broadcast_vote t ~seqno =
 
 let stabilize t ~seqno =
   if seqno > Exec.stable t.exec && seqno <= Exec.k_exec t.exec then begin
+    if Poe_obs.Trace.enabled () then
+      Poe_obs.Trace.instant ~ts:(Ctx.now t.ctx) ~node:(Ctx.id t.ctx)
+        ~cat:"recovery" ~seqno "checkpoint_stable";
+    if Poe_obs.Metrics.enabled () then
+      Poe_obs.Metrics.cincr "recovery.checkpoints";
     Exec.set_stable t.exec seqno;
     Ctx.stable_checkpoint t.ctx ~seqno;
     Exec.gc_below t.exec ~seqno;
@@ -115,9 +120,17 @@ let request_state_transfer t ~from_peers =
       List.filter (fun p -> p <> Ctx.id t.ctx) from_peers
       |> List.fold_left min max_int
     in
-    if peer < max_int then
+    if peer < max_int then begin
+      if Poe_obs.Trace.enabled () then
+        Poe_obs.Trace.instant ~ts:(Ctx.now t.ctx) ~node:(Ctx.id t.ctx)
+          ~cat:"recovery"
+          ~args:[ ("peer", Poe_obs.Trace.I peer) ]
+          "state_transfer_request";
+      if Poe_obs.Metrics.enabled () then
+        Poe_obs.Metrics.cincr "recovery.state_transfer_requests";
       Ctx.send_replica t.ctx ~dst:peer ~bytes:Message.Wire.vote
         (Message.State_request { from_seqno = Exec.k_exec t.exec })
+    end
   end
 
 let entry_bytes = Message.Wire.per_txn + 64
@@ -178,6 +191,11 @@ let on_state_request t ~src ~from_seqno =
 let on_state_snapshot t ~upto ~rows ~blocks ~entries =
   t.transfer_pending <- false;
   if upto > Exec.k_exec t.exec then begin
+    if Poe_obs.Trace.enabled () then
+      Poe_obs.Trace.instant ~ts:(Ctx.now t.ctx) ~node:(Ctx.id t.ctx)
+        ~cat:"recovery" ~seqno:upto "snapshot_adopted";
+    if Poe_obs.Metrics.enabled () then
+      Poe_obs.Metrics.cincr "recovery.snapshots_adopted";
     Exec.adopt_snapshot t.exec ~upto ~rows ~blocks;
     Ctx.stable_checkpoint t.ctx ~seqno:upto;
     t.on_stable upto

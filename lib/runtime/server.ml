@@ -1,6 +1,17 @@
 module Engine = Poe_simnet.Engine
+module Trace = Poe_obs.Trace
+module Metrics = Poe_obs.Metrics
 
 type resource = Io | Batcher | Worker | Execute
+
+let resource_name = function
+  | Io -> "io"
+  | Batcher -> "batcher"
+  | Worker -> "worker"
+  | Execute -> "execute"
+
+(* Trace thread ids: 0 is the node's protocol track; lanes get 1..4. *)
+let resource_tid = function Io -> 1 | Batcher -> 2 | Worker -> 3 | Execute -> 4
 
 type pool = {
   free_at : float array;      (* when each lane next becomes idle *)
@@ -9,6 +20,7 @@ type pool = {
 
 type t = {
   engine : Engine.t;
+  node : int;
   io : pool;
   batcher : pool;
   worker : pool;
@@ -19,15 +31,18 @@ let make_pool lanes =
   if lanes < 1 then invalid_arg "Server: lanes >= 1";
   { free_at = Array.make lanes 0.0; busy = 0.0 }
 
-let create ~engine ?(io_lanes = 8) ?(batcher_lanes = 2) ?(worker_lanes = 1)
-    ?(execute_lanes = 1) () =
+let create ~engine ?(node = -1) ?(io_lanes = 8) ?(batcher_lanes = 2)
+    ?(worker_lanes = 1) ?(execute_lanes = 1) () =
   {
     engine;
+    node;
     io = make_pool io_lanes;
     batcher = make_pool batcher_lanes;
     worker = make_pool worker_lanes;
     execute = make_pool execute_lanes;
   }
+
+let node t = t.node
 
 let pool t = function
   | Io -> t.io
@@ -51,6 +66,20 @@ let submit t resource ~cost k =
   let finish = start +. cost in
   pool.free_at.(lane) <- finish;
   pool.busy <- pool.busy +. cost;
+  (* Hot path: both emitters are pre-guarded so a disabled run pays a
+     load-and-branch and allocates nothing. Zero-cost jobs are pure
+     event-ordering hops, not work; they would only add noise. *)
+  if cost > 0.0 then begin
+    let name = resource_name resource in
+    if Trace.enabled () then
+      Trace.complete ~tid:(resource_tid resource)
+        ~args:[ ("wait", Trace.F (start -. now)); ("lane", Trace.I lane) ]
+        ~ts:start ~dur:cost ~node:t.node ~cat:"server" name;
+    if Metrics.enabled () then begin
+      Metrics.hobs ("server." ^ name ^ ".wait") (start -. now);
+      Metrics.hobs ("server." ^ name ^ ".service") cost
+    end
+  end;
   ignore (Engine.schedule t.engine ~delay:(finish -. now) k)
 
 let busy_seconds t resource = (pool t resource).busy

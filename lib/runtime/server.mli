@@ -15,6 +15,7 @@ type t
 
 val create :
   engine:Poe_simnet.Engine.t ->
+  ?node:int ->
   ?io_lanes:int ->
   ?batcher_lanes:int ->
   ?worker_lanes:int ->
@@ -23,7 +24,15 @@ val create :
   t
 (** Defaults: 8 io, 2 batcher, 1 worker, 1 execute — the configuration the
     paper describes (it deliberately bounds consensus at one worker
-    thread, §IV-B). *)
+    thread, §IV-B). [node] (default [-1]) labels trace events emitted by
+    this server's lanes; pass the replica id when tracing is in use. *)
+
+val node : t -> int
+(** The [node] label given at creation ([-1] if none). *)
+
+val resource_name : resource -> string
+(** Stable lowercase name ("io", "batcher", "worker", "execute") used in
+    metric names and trace events. *)
 
 val submit : t -> resource -> cost:float -> (unit -> unit) -> unit
 (** Run the continuation once a lane of [resource] has spent [cost] seconds

@@ -66,6 +66,10 @@ let bucket_series t ~bucket ~upto =
       let start = float_of_int i *. bucket in
       let fine_lo = int_of_float (start *. 10.0) in
       let fine_hi = int_of_float ((start +. bucket) *. 10.0) in
+      (* The last bucket is closed on the right: a completion at exactly
+         [upto] lands in fine slot [upto * 10] and belongs to the series,
+         not past its end. *)
+      let fine_hi = if i = n_buckets - 1 then fine_hi + 1 else fine_hi in
       let count = ref 0 in
       for j = fine_lo to min (fine_hi - 1) (Array.length t.fine_buckets - 1) do
         if j >= 0 then count := !count + t.fine_buckets.(j)

@@ -16,7 +16,8 @@ val record_consensus : t -> now:float -> unit
     counts decisions rather than transactions). *)
 
 val throughput : t -> float
-(** Transactions per second over the measurement window. *)
+(** Transactions per second over the measurement window; 0 when nothing
+    completed inside it. *)
 
 val consensus_throughput : t -> float
 
@@ -29,7 +30,9 @@ val completed_total : t -> int
 
 val bucket_series : t -> bucket:float -> upto:float -> (float * float) list
 (** [(bucket_start_time, txn_per_second)] pairs from time 0 to [upto],
-    counting all completions (no warmup exclusion) — the Fig. 10 series. *)
+    counting all completions (no warmup exclusion) — the Fig. 10 series.
+    Buckets are half-open [[start, start + bucket)] except the last, which
+    also includes completions recorded at exactly [upto]. *)
 
 val warmup : t -> float
 val measure : t -> float

@@ -12,6 +12,9 @@ module Block = Poe_ledger.Block
 
 let name = "sbft"
 
+module Trace = Poe_obs.Trace
+module Metrics = Poe_obs.Metrics
+
 type Message.t +=
   | S_preprepare of { seqno : int; batch : Message.batch }
   | S_share of { seqno : int; digest : string }     (* replica -> collector *)
@@ -69,6 +72,11 @@ let executor t = 2 mod n t
 let is_primary t = Ctx.id t.ctx = primary_id
 let is_collector t = Ctx.id t.ctx = collector t
 let is_executor t = Ctx.id t.ctx = executor t
+
+let tr_phase t ~seqno phase =
+  if Trace.enabled () then
+    Trace.phase ~ts:(Ctx.now t.ctx) ~node:(Ctx.id t.ctx) ~cat:name ~view:0
+      ~seqno phase
 
 let slot_of t seqno =
   match Hashtbl.find_opt t.slots seqno with
@@ -219,12 +227,14 @@ let send_share t ~seqno (batch : Message.batch) =
   if not slot.share_sent then begin
     slot.share_sent <- true;
     slot.batch <- Some batch;
+    tr_phase t ~seqno "propose";
     let c = costs t in
     let cpu =
       Cost.hash_cost c ~bytes:(Message.Wire.propose (cfg t))
       +. c.Cost.ts_share_sign
     in
     Ctx.work t.ctx Server.Worker ~cost:cpu (fun () ->
+        tr_phase t ~seqno "share";
         Ctx.send_replica t.ctx ~dst:(collector t) ~bytes:Message.Wire.vote
           (S_share { seqno; digest = batch.Message.digest }))
   end
@@ -241,11 +251,16 @@ let on_commit_proof t ~seqno ~digest ~full =
           let c = costs t in
           Ctx.work t.ctx Server.Worker ~cost:c.Cost.ts_verify (fun () ->
               slot.committed <- true;
+              tr_phase t ~seqno "commit";
               maybe_execute t seqno slot)
         end
       end
       else begin
         (* Slow path: re-sign the aggregate (second share round). *)
+        if Trace.enabled () then
+          Trace.instant ~ts:(Ctx.now t.ctx) ~node:(Ctx.id t.ctx) ~cat:name
+            ~seqno "slow_path";
+        if Metrics.enabled () then Metrics.cincr "sbft.slow_paths";
         let c = costs t in
         Ctx.work t.ctx Server.Worker
           ~cost:(c.Cost.ts_verify +. c.Cost.ts_share_sign)
@@ -263,6 +278,7 @@ let on_final_proof t ~seqno ~digest =
         let c = costs t in
         Ctx.work t.ctx Server.Worker ~cost:c.Cost.ts_verify (fun () ->
             slot.committed <- true;
+            tr_phase t ~seqno "commit";
             maybe_execute t seqno slot)
       end
   | Some _ | None -> ()

@@ -43,26 +43,59 @@ let set_handler t id handler =
   check_node t id;
   t.handlers.(id) <- Some handler
 
+module Trace = Poe_obs.Trace
+module Metrics = Poe_obs.Metrics
+
+(* Hot path: tracing and metrics are pre-guarded so a disabled run pays
+   one load-and-branch per message and allocates nothing. *)
+let trace_drop t ~src ~dst ~bytes =
+  if Trace.enabled () then
+    Trace.instant ~ts:(Engine.now t.engine) ~node:src ~cat:"net"
+      ~args:[ ("dst", Trace.I dst); ("bytes", Trace.I bytes) ]
+      "drop";
+  if Metrics.enabled () then Metrics.cincr "net.dropped_messages"
+
 let deliver t ~src ~dst ~bytes msg =
-  if t.crashed.(dst) then t.dropped_messages <- t.dropped_messages + 1
+  if t.crashed.(dst) then begin
+    t.dropped_messages <- t.dropped_messages + 1;
+    trace_drop t ~src ~dst ~bytes
+  end
   else
     match t.handlers.(dst) with
-    | None -> t.dropped_messages <- t.dropped_messages + 1
-    | Some handler -> handler ~src ~bytes msg
+    | None ->
+        t.dropped_messages <- t.dropped_messages + 1;
+        trace_drop t ~src ~dst ~bytes
+    | Some handler ->
+        if Trace.enabled () then
+          Trace.instant ~ts:(Engine.now t.engine) ~node:dst ~cat:"net"
+            ~args:[ ("src", Trace.I src); ("bytes", Trace.I bytes) ]
+            "deliver";
+        handler ~src ~bytes msg
 
 let send t ~src ~dst ~bytes msg =
   check_node t src;
   check_node t dst;
-  if t.crashed.(src) || Hashtbl.mem t.blocked (src, dst) then
-    t.dropped_messages <- t.dropped_messages + 1
+  if t.crashed.(src) || Hashtbl.mem t.blocked (src, dst) then begin
+    t.dropped_messages <- t.dropped_messages + 1;
+    trace_drop t ~src ~dst ~bytes
+  end
   else if t.loss_probability > 0.0 && Rng.bool t.rng ~p:t.loss_probability then begin
     t.sent_messages <- t.sent_messages + 1;
     t.sent_bytes <- t.sent_bytes + bytes;
-    t.dropped_messages <- t.dropped_messages + 1
+    t.dropped_messages <- t.dropped_messages + 1;
+    trace_drop t ~src ~dst ~bytes
   end
   else begin
     t.sent_messages <- t.sent_messages + 1;
     t.sent_bytes <- t.sent_bytes + bytes;
+    if Trace.enabled () then
+      Trace.instant ~ts:(Engine.now t.engine) ~node:src ~cat:"net"
+        ~args:[ ("dst", Trace.I dst); ("bytes", Trace.I bytes) ]
+        "send";
+    if Metrics.enabled () then begin
+      Metrics.cincr "net.sent_messages";
+      Metrics.cincr ~by:bytes "net.sent_bytes"
+    end;
     let now = Engine.now t.engine in
     let departure =
       match t.bandwidth with

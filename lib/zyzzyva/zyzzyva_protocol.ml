@@ -12,6 +12,9 @@ module Block = Poe_ledger.Block
 
 let name = "zyzzyva"
 
+module Trace = Poe_obs.Trace
+module Metrics = Poe_obs.Metrics
+
 type Message.t +=
   | Order_req of { view : int; seqno : int; batch : Message.batch }
       (** primary → all: the only inter-replica message of the fast path *)
@@ -46,10 +49,18 @@ let k_exec t = Exec.k_exec t.exec
 let cfg t = Ctx.config t.ctx
 let is_primary t = Ctx.id t.ctx = 0
 
+(* Speculation has a single inter-replica phase: the slot opens at the
+   order-req ("propose") and closes when Exec_engine executes it. *)
+let tr_phase t ~seqno phase =
+  if Trace.enabled () then
+    Trace.phase ~ts:(Ctx.now t.ctx) ~node:(Ctx.id t.ctx) ~cat:name ~view:0
+      ~seqno phase
+
 let propose_batch t (batch : Message.batch) =
   if Ctx.alive t.ctx && is_primary t then begin
     let seqno = t.next_seqno in
     t.next_seqno <- seqno + 1;
+    tr_phase t ~seqno "propose";
     (match Ctx.behavior t.ctx with
     | Ctx.Honest ->
         Ctx.broadcast_replicas t.ctx
@@ -90,6 +101,7 @@ let on_order_req t ~src ~seqno (batch : Message.batch) =
   if src = 0 && not (is_primary t) then begin
     (* Speculative execution with no partial guarantee whatsoever — the
        defining difference from PoE's non-divergent speculation. *)
+    tr_phase t ~seqno "propose";
     let c = Ctx.cost t.ctx in
     Ctx.work t.ctx Server.Worker
       ~cost:(Cost.hash_cost c ~bytes:(Message.Wire.propose (cfg t)))
@@ -109,9 +121,14 @@ let on_commit_cert t ~seqno ~digest ~acks ~hub =
            than a local commit. *)
         seqno <= Exec.stable t.exec
   in
-  if agrees then
+  if agrees then begin
+    if Trace.enabled () then
+      Trace.instant ~ts:(Ctx.now t.ctx) ~node:(Ctx.id t.ctx) ~cat:name ~seqno
+        "commit_cert";
+    if Metrics.enabled () then Metrics.cincr "zyzzyva.commit_certs";
     Ctx.send_hub t.ctx ~hub ~bytes:Message.Wire.vote
       (Local_commit { seqno; digest; acks; replica = Ctx.id t.ctx })
+  end
 
 let on_client_request t (req : Message.request) =
   if Exec.was_executed t.exec req then ()

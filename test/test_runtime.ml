@@ -144,6 +144,38 @@ let test_stats_buckets () =
       Alcotest.(check (float 1e-9)) "bucket 2 empty" 0.0 r2
   | _ -> Alcotest.fail "expected three buckets"
 
+let test_stats_bucket_boundary () =
+  (* A completion recorded at exactly [upto] must land in the final
+     bucket, not vanish past the series. *)
+  let s = Stats.create ~warmup:0.0 ~measure:10.0 in
+  Stats.record_completion s ~now:3.0 ~submitted:2.9 ~count:7;
+  let series = Stats.bucket_series s ~bucket:1.0 ~upto:3.0 in
+  Alcotest.(check int) "three buckets" 3 (List.length series);
+  let _, last = List.nth series 2 in
+  Alcotest.(check (float 1e-9)) "completion at upto counted" 7.0 last;
+  (* Interior bucket boundaries stay half-open. *)
+  let s2 = Stats.create ~warmup:0.0 ~measure:10.0 in
+  Stats.record_completion s2 ~now:1.0 ~submitted:0.9 ~count:3;
+  (match Stats.bucket_series s2 ~bucket:1.0 ~upto:3.0 with
+  | [ (_, r0); (_, r1); (_, r2) ] ->
+      Alcotest.(check (float 1e-9)) "not in bucket 0" 0.0 r0;
+      Alcotest.(check (float 1e-9)) "in bucket 1" 3.0 r1;
+      Alcotest.(check (float 1e-9)) "not in bucket 2" 0.0 r2
+  | _ -> Alcotest.fail "expected three buckets")
+
+let test_stats_empty_window () =
+  (* No completions inside the measurement window: rates must read 0,
+     not NaN or a division error. *)
+  let s = Stats.create ~warmup:1.0 ~measure:2.0 in
+  Alcotest.(check (float 0.0)) "throughput empty" 0.0 (Stats.throughput s);
+  Alcotest.(check (float 0.0)) "latency empty" 0.0 (Stats.avg_latency s);
+  (* Completions strictly outside the window still read 0. *)
+  Stats.record_completion s ~now:0.5 ~submitted:0.4 ~count:10;
+  Stats.record_completion s ~now:3.5 ~submitted:3.4 ~count:10;
+  Alcotest.(check (float 0.0)) "throughput outside only" 0.0
+    (Stats.throughput s);
+  Alcotest.(check (float 0.0)) "latency outside only" 0.0 (Stats.avg_latency s)
+
 (* ------------------------------------------------------------------ *)
 (* Message wire sizes                                                  *)
 
@@ -401,6 +433,10 @@ let () =
         [
           Alcotest.test_case "measurement window" `Quick test_stats_window;
           Alcotest.test_case "bucket series" `Quick test_stats_buckets;
+          Alcotest.test_case "bucket boundary at upto" `Quick
+            test_stats_bucket_boundary;
+          Alcotest.test_case "empty window rates" `Quick
+            test_stats_empty_window;
         ] );
       ( "message",
         [
