@@ -2,6 +2,8 @@
 
    poe-sim run --protocol poe --replicas 32 --crash-backup ...
        simulate one deployment and report throughput/latency
+   poe-sim chaos --protocol pbft --seed 7 --rounds 50 --minimize
+       seeded fault-schedule fuzzing with the mid-run safety auditor
    poe-sim experiment fig9ab ...
        regenerate one of the paper's figures
    poe-sim list
@@ -186,6 +188,93 @@ let run_cmd =
       $ crash_backup $ crash_primary_at $ no_ooo $ duration $ seed $ trace_file
       $ trace_format $ metrics_flag)
 
+(* ------------------------------------------------------------------ *)
+(* poe_sim chaos                                                       *)
+
+let chaos_rounds =
+  Arg.(
+    value & opt int 20
+    & info [ "rounds" ] ~docv:"R"
+        ~doc:"Chaos rounds to run; round i uses a seed derived from --seed.")
+
+let chaos_n =
+  Arg.(
+    value & opt int 4
+    & info [ "chaos-replicas" ] ~docv:"N"
+        ~doc:"Replicas in each chaos cluster (default 4).")
+
+let minimize_flag =
+  Arg.(
+    value & flag
+    & info [ "minimize" ]
+        ~doc:
+          "On a violation, greedily shrink the failing schedule to a \
+           minimal reproducer before reporting it.")
+
+let chaos_cmd =
+  let run protocol seed rounds n minimize trace_file trace_format metrics =
+    let (module P : R.Protocol_intf.S) =
+      match protocol with
+      | E.Poe -> (module Poe_core.Poe_protocol)
+      | E.Pbft -> (module Poe_pbft.Pbft_protocol)
+      | E.Zyzzyva -> (module Poe_zyzzyva.Zyzzyva_protocol)
+      | E.Sbft -> (module Poe_sbft.Sbft_protocol)
+      | E.Hotstuff -> (module Poe_hotstuff.Hotstuff_protocol)
+    in
+    let module Ch = Poe_chaos.Runner.Make (P) in
+    let violations =
+      E.instrumented
+        ?trace:(obs_args trace_file trace_format)
+        ~metrics
+        (fun () ->
+          let violations = ref 0 in
+          for i = 0 to rounds - 1 do
+            (* Each round's seed is a fixed function of --seed, so one
+               master seed names the whole sweep and any single round can
+               be replayed alone. *)
+            let round_seed = seed + (7919 * i) in
+            let outcome = Ch.run_seed ~n ~seed:round_seed () in
+            Format.printf "round %d seed %d schedule:@.%a" i round_seed
+              Poe_chaos.Schedule.pp outcome.Ch.schedule;
+            (match outcome.Ch.violation with
+            | None ->
+                Format.printf
+                  "round %d seed %d: ok (%d requests, %d samples, t=%.2fs)@."
+                  i round_seed outcome.Ch.completed outcome.Ch.samples
+                  outcome.Ch.final_time
+            | Some v ->
+                incr violations;
+                Format.printf "round %d seed %d: VIOLATION %a@." i round_seed
+                  Poe_chaos.Auditor.pp_violation v;
+                if minimize then begin
+                  let params = Ch.default_params ~seed:round_seed ~n in
+                  let minimal, oracle_runs =
+                    Ch.minimize ~params ~schedule:outcome.Ch.schedule
+                      ~violation_at:v.Poe_chaos.Auditor.at ()
+                  in
+                  Format.printf
+                    "minimal reproducer (%d action(s), %d oracle runs):@.%a"
+                    (List.length minimal) oracle_runs Poe_chaos.Schedule.pp
+                    minimal
+                end);
+            Format.printf "@."
+          done;
+          !violations)
+    in
+    Format.printf "chaos: protocol=%s rounds=%d violations=%d@." P.name rounds
+      violations;
+    if violations > 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Run seeded fault schedules (crashes, partitions, bursty loss, \
+          latency surges, byzantine flips) against a protocol with a \
+          mid-run safety auditor.")
+    Term.(
+      const run $ protocol $ seed $ chaos_rounds $ chaos_n $ minimize_flag
+      $ trace_file $ trace_format $ metrics_flag)
+
 let experiments : (string * string * (float -> unit)) list =
   let fmt = Format.std_formatter in
   [
@@ -279,7 +368,8 @@ let () =
   let doc = "Proof-of-Execution (EDBT 2021) reproduction driver" in
   match
     Cmd.eval ~catch:false
-      (Cmd.group (Cmd.info "poe_sim" ~doc) [ run_cmd; experiment_cmd; list_cmd ])
+      (Cmd.group (Cmd.info "poe_sim" ~doc)
+         [ run_cmd; chaos_cmd; experiment_cmd; list_cmd ])
   with
   | code -> exit code
   | exception (Failure msg | Sys_error msg) ->

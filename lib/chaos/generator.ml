@@ -1,0 +1,157 @@
+module Rng = Poe_simnet.Rng
+
+type profile = {
+  crashes : int;
+  byz_flips : int;
+  partitions : int;
+  link_blocks : int;
+  loss_bursts : int;
+  latency_surges : int;
+}
+
+let default_profile =
+  {
+    crashes = 2;
+    byz_flips = 2;
+    partitions = 1;
+    link_blocks = 2;
+    loss_bursts = 1;
+    latency_surges = 1;
+  }
+
+let byzantine_ok ~protocol =
+  match protocol with
+  | "poe" | "pbft" | "hotstuff" -> true
+  | _ -> false
+
+(* Fault intervals (replica, start, end) drive the <= f budget. *)
+let overlapping intervals (t0, t1) =
+  List.filter (fun (_, s, e) -> s < t1 && t0 < e) intervals
+
+let replica_free intervals r (t0, t1) =
+  not (List.exists (fun (r', _, _) -> r' = r) (overlapping intervals (t0, t1)))
+
+(* Would adding [extra] simultaneous faults over [t0,t1) ever push the
+   number of concurrently faulty replicas above f?  Concurrency is
+   piecewise constant, so checking at t0 and at every interval start
+   inside the window is exhaustive. *)
+let budget_ok ~f intervals ~extra (t0, t1) =
+  let inside = overlapping intervals (t0, t1) in
+  let points =
+    t0 :: List.filter_map (fun (_, s, _) -> if s > t0 then Some s else None) inside
+  in
+  List.for_all
+    (fun p ->
+      let live = List.length (List.filter (fun (_, s, e) -> s <= p && p < e) inside) in
+      live + extra <= f)
+    points
+
+let generate ?(profile = default_profile) ~seed ~n ~byzantine ~horizon () =
+  let f = (n - 1) / 3 in
+  let rng = Rng.create seed in
+  let entries = ref [] in
+  let add at action = entries := { Schedule.at; action } :: !entries in
+  let intervals = ref [] in
+  (* Episode windows live in [0.10, 0.90] * horizon so the run both warms
+     up cleanly and winds down cleanly. *)
+  let draw_window () =
+    let start = horizon *. (0.10 +. Rng.float rng 0.45) in
+    let len = horizon *. (0.10 +. Rng.float rng 0.25) in
+    (start, start +. len)
+  in
+  (* Fail-pause episodes. *)
+  for _ = 1 to profile.crashes do
+    let ((t0, t1) as w) = draw_window () in
+    let r = Rng.int rng n in
+    if replica_free !intervals r w && budget_ok ~f !intervals ~extra:1 w then begin
+      intervals := (r, t0, t1) :: !intervals;
+      add t0 (Schedule.Crash r);
+      add t1 (Schedule.Recover r)
+    end
+  done;
+  (* Byzantine flip episodes. The draws happen even when [byzantine] is
+     false so crash-only protocols consume the same stream — flipping the
+     gate never reshuffles the rest of the schedule. *)
+  for _ = 1 to profile.byz_flips do
+    let ((t0, t1) as w) = draw_window () in
+    (* Bias toward replica 0, the view-0 primary: behavior flips only act
+       in the propose path, so a random backup is usually a no-op. *)
+    let r = if Rng.bool rng ~p:0.5 then 0 else Rng.int rng n in
+    let kind = Rng.int rng 3 in
+    let victims =
+      (* drawn unconditionally, used only by Keep_in_dark *)
+      let v = Rng.int rng n in
+      [ (if v = r then (v + 1) mod n else v) ]
+    in
+    if
+      byzantine
+      && replica_free !intervals r w
+      && budget_ok ~f !intervals ~extra:1 w
+    then begin
+      intervals := (r, t0, t1) :: !intervals;
+      let byz =
+        match kind with
+        | 0 -> Schedule.Equivocate
+        | 1 -> Schedule.Keep_in_dark victims
+        | _ -> Schedule.Silent
+      in
+      add t0 (Schedule.Set_byzantine { replica = r; byz });
+      add t1 (Schedule.Restore_honest r)
+    end
+  done;
+  (* Partitions: isolate a minority group; every member counts against the
+     fault budget while cut off. *)
+  for _ = 1 to profile.partitions do
+    let ((t0, t1) as w) = draw_window () in
+    let size = 1 + Rng.int rng (max 1 f) in
+    let ids = Array.init n (fun i -> i) in
+    Rng.shuffle rng ids;
+    let group = Array.to_list (Array.sub ids 0 size) in
+    if
+      List.for_all (fun r -> replica_free !intervals r w) group
+      && budget_ok ~f !intervals ~extra:size w
+    then begin
+      List.iter (fun r -> intervals := (r, t0, t1) :: !intervals) group;
+      add t0 (Schedule.Partition group);
+      add t1 Schedule.Heal
+    end
+  done;
+  (* Single directed link cuts between two replicas: asymmetric faults the
+     partition case cannot produce. Not budgeted — both ends stay up. *)
+  for _ = 1 to profile.link_blocks do
+    let t0, t1 = draw_window () in
+    let src = Rng.int rng n in
+    let dst =
+      let d = Rng.int rng n in
+      if d = src then (d + 1) mod n else d
+    in
+    add t0 (Schedule.Block_link { src; dst });
+    add t1 (Schedule.Unblock_link { src; dst })
+  done;
+  (* Gilbert–Elliott loss bursts, pairwise disjoint in time so the applier
+     never has to compose two channels. *)
+  let bursts = ref [] in
+  for _ = 1 to profile.loss_bursts do
+    let ((t0, t1) as w) = draw_window () in
+    let loss_bad = 0.15 +. Rng.float rng 0.30 in
+    let mean_good = 0.04 +. Rng.float rng 0.08 in
+    let mean_bad = 0.01 +. Rng.float rng 0.04 in
+    let burst_seed = Rng.int rng 1_000_000_000 in
+    if not (List.exists (fun (s, e) -> s < t1 && t0 < e) !bursts) then begin
+      bursts := w :: !bursts;
+      add t0
+        (Schedule.Loss_burst
+           { loss_bad; mean_good; mean_bad; until = t1; seed = burst_seed })
+    end
+  done;
+  (* Latency surges, likewise disjoint among themselves. *)
+  let surges = ref [] in
+  for _ = 1 to profile.latency_surges do
+    let ((t0, t1) as w) = draw_window () in
+    let factor = 2.0 +. Rng.float rng 4.0 in
+    if not (List.exists (fun (s, e) -> s < t1 && t0 < e) !surges) then begin
+      surges := w :: !surges;
+      add t0 (Schedule.Latency_surge { factor; until = t1 })
+    end
+  done;
+  Schedule.sort (List.rev !entries)

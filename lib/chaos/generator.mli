@@ -1,0 +1,46 @@
+(** Seeded random fault-schedule generation.
+
+    The generator is a pure function of its seed: the same seed, cluster
+    size and profile always produce the identical schedule (the entries
+    print byte-for-byte the same), which is what makes a chaos failure a
+    one-line bug report — "seed 7134 violates agreement" — instead of a
+    core dump.
+
+    Fault-budget discipline: at any instant at most [f = (n-1)/3] replicas
+    are faulty (paused or byzantine-flipped), because beyond that the
+    protocols promise nothing and every run would "find" vacuous
+    violations. Partitioned groups count against the same budget. Every
+    fault is paired with its cure (recover / restore / heal / episode end)
+    inside the horizon, so the tail of the run is clean and the cluster
+    gets a fair chance to converge before the final strict audit. *)
+
+type profile = {
+  crashes : int;  (** fail-pause/resume episodes to attempt *)
+  byz_flips : int;  (** byzantine flip/restore episodes to attempt *)
+  partitions : int;
+  link_blocks : int;  (** single directed link cuts *)
+  loss_bursts : int;
+  latency_surges : int;
+}
+(** Episode counts are attempts: an episode that cannot fit without
+    exceeding the fault budget is dropped, so the generated schedule may
+    be smaller. *)
+
+val default_profile : profile
+
+val byzantine_ok : protocol:string -> bool
+(** Whether a protocol tolerates byzantine behavior flips at all. SBFT and
+    Zyzzyva have no replica-driven view change ([on_suspect] is a no-op:
+    client-side recovery only), so a byzantine primary stalls or splits
+    them forever — the generator must stick to crash faults for them. *)
+
+val generate :
+  ?profile:profile ->
+  seed:int ->
+  n:int ->
+  byzantine:bool ->
+  horizon:float ->
+  unit ->
+  Schedule.t
+(** [horizon] is the active window: every injected fault is cured by then.
+    [byzantine] gates behavior flips (pass [byzantine_ok ~protocol]). *)

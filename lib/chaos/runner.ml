@@ -1,0 +1,225 @@
+module R = Poe_runtime
+module Engine = Poe_simnet.Engine
+module Network = Poe_simnet.Network
+module Gilbert = Poe_simnet.Gilbert
+module Rng = Poe_simnet.Rng
+module Config = R.Config
+module Ctx = R.Replica_ctx
+module Hub = R.Hub_core
+module Cluster = Poe_harness.Cluster
+module Trace = Poe_obs.Trace
+
+module Make (P : R.Protocol_intf.S) = struct
+  module C = Cluster.Make (P)
+
+  type outcome = {
+    schedule : Schedule.t;
+    violation : Auditor.violation option;
+    completed : int;
+    samples : int;
+    final_time : float;
+  }
+
+  let speculative = String.equal P.name "poe"
+
+  let default_params ~seed ~n =
+    let config =
+      Config.make ~n ~batch_size:5 ~materialize:true ~n_hubs:2
+        ~clients_per_hub:4 ~request_timeout:0.4 ~view_timeout:0.2
+        ~checkpoint_period:8 ~seed ()
+    in
+    { (Cluster.default_params ~config) with warmup = 0.2; measure = 3.0 }
+
+  let tr ~engine ~node name args =
+    if Trace.enabled () then
+      Trace.instant ~ts:(Engine.now engine) ~node ~cat:"chaos" ~args name
+
+  let behavior_of_byz = function
+    | Schedule.Equivocate -> Ctx.Equivocate
+    | Schedule.Keep_in_dark victims -> Ctx.Keep_in_dark victims
+    | Schedule.Silent -> Ctx.Silent
+
+  (* Arm one schedule entry. [disconnected] tracks which replicas the
+     schedule currently cuts off (paused or partitioned) so the auditor
+     can exclude them from cross-replica checks; a replica can be cut off
+     for two reasons at once, hence the reference counts. *)
+  let arm_entry c (disconnected : (int, int) Hashtbl.t) { Schedule.at; action }
+      =
+    let engine = c.C.engine in
+    let net = c.C.net in
+    let n = (c.C.params.Cluster.config : Config.t).Config.n in
+    let cut id =
+      Hashtbl.replace disconnected id
+        (1 + Option.value ~default:0 (Hashtbl.find_opt disconnected id))
+    in
+    let uncut id =
+      match Hashtbl.find_opt disconnected id with
+      | Some k when k > 1 -> Hashtbl.replace disconnected id (k - 1)
+      | Some _ -> Hashtbl.remove disconnected id
+      | None -> ()
+    in
+    let fire () =
+      match action with
+      | Schedule.Crash r ->
+          tr ~engine ~node:r "chaos_crash" [];
+          cut r;
+          C.pause_replica c r
+      | Schedule.Recover r ->
+          tr ~engine ~node:r "chaos_recover" [];
+          uncut r;
+          C.resume_replica c r
+      | Schedule.Block_link { src; dst } ->
+          tr ~engine ~node:src "chaos_block_link"
+            [ ("dst", Trace.I dst) ];
+          Network.block_link net ~src ~dst
+      | Schedule.Unblock_link { src; dst } ->
+          tr ~engine ~node:src "chaos_unblock_link"
+            [ ("dst", Trace.I dst) ];
+          Network.unblock_link net ~src ~dst
+      | Schedule.Partition group ->
+          tr ~engine ~node:(List.hd group) "chaos_partition"
+            [ ("size", Trace.I (List.length group)) ];
+          let total = Network.n_nodes net in
+          List.iter
+            (fun a ->
+              cut a;
+              for b = 0 to total - 1 do
+                if not (List.mem b group) then begin
+                  Network.block_link net ~src:a ~dst:b;
+                  Network.block_link net ~src:b ~dst:a
+                end
+              done)
+            group
+      | Schedule.Heal ->
+          tr ~engine ~node:0 "chaos_heal" [];
+          (* Partition membership was the only reason these replicas were
+             marked cut off; pauses have their own Recover entries. *)
+          for r = 0 to n - 1 do
+            if not (C.is_paused c r) then Hashtbl.remove disconnected r
+          done;
+          Network.heal_partitions net
+      | Schedule.Loss_burst { loss_bad; mean_good; mean_bad; until; seed } ->
+          tr ~engine ~node:0 "chaos_loss_burst"
+            [ ("loss_bad", Trace.F loss_bad); ("until", Trace.F until) ];
+          let base = Network.loss net in
+          let channel =
+            Gilbert.create ~loss_good:base ~loss_bad ~mean_good ~mean_bad ()
+          in
+          let rng = Rng.create seed in
+          let rec step () =
+            let now = Engine.now engine in
+            if now >= until then begin
+              tr ~engine ~node:0 "chaos_loss_burst_end" [];
+              Network.set_loss net base
+            end
+            else begin
+              Network.set_loss net (Gilbert.loss channel);
+              let dwell = Gilbert.dwell channel rng in
+              ignore
+                (Engine.schedule engine
+                   ~delay:(Float.min dwell (until -. now))
+                   (fun () ->
+                     Gilbert.flip channel;
+                     step ()))
+            end
+          in
+          step ()
+      | Schedule.Latency_surge { factor; until } ->
+          tr ~engine ~node:0 "chaos_latency_surge"
+            [ ("factor", Trace.F factor); ("until", Trace.F until) ];
+          let base = Network.latency_factor net in
+          Network.set_latency_factor net (base *. factor);
+          ignore
+            (Engine.schedule engine
+               ~delay:(until -. Engine.now engine)
+               (fun () ->
+                 tr ~engine ~node:0 "chaos_latency_surge_end" [];
+                 Network.set_latency_factor net base))
+      | Schedule.Set_byzantine { replica; byz } ->
+          tr ~engine ~node:replica "chaos_set_byzantine"
+            [ ("behavior", Trace.S (Format.asprintf "%a" Schedule.pp_action action)) ];
+          C.set_behavior c replica (behavior_of_byz byz)
+      | Schedule.Restore_honest r ->
+          tr ~engine ~node:r "chaos_restore_honest" [];
+          C.set_behavior c r Ctx.Honest
+    in
+    ignore (Engine.schedule engine ~delay:(at -. Engine.now engine) fire)
+
+  let run ?(sample_interval = 0.05) ?(horizon = 2.0) ?(drain = 1.2) ~params
+      ~schedule () =
+    (match Schedule.validate ~n:params.Cluster.config.Config.n schedule with
+    | Ok () -> ()
+    | Error e -> invalid_arg ("Runner.run: bad schedule: " ^ e));
+    let c = C.build params in
+    let disconnected = Hashtbl.create 8 in
+    let auditor =
+      Auditor.create ~ctxs:(C.replica_ctxs c) ~speculative
+        ~paused:(fun id -> Hashtbl.mem disconnected id)
+        ()
+    in
+    List.iter (arm_entry c disconnected) schedule;
+    let total = horizon +. drain in
+    (* Advance in slices, auditing after each, so a violation stops the
+       run within one sample interval of the moment it became visible. *)
+    let rec loop () =
+      let now = Engine.now c.C.engine in
+      if now < total && Auditor.violation auditor = None then begin
+        C.run c ~until:(Float.min total (now +. sample_interval));
+        Auditor.sample auditor ~now:(Engine.now c.C.engine);
+        loop ()
+      end
+    in
+    loop ();
+    if Auditor.violation auditor = None then
+      Auditor.final_check auditor ~now:(Engine.now c.C.engine);
+    {
+      schedule;
+      violation = Auditor.violation auditor;
+      completed = Array.fold_left (fun acc h -> acc + Hub.completed h) 0 c.C.hubs;
+      samples = Auditor.samples auditor;
+      final_time = Engine.now c.C.engine;
+    }
+
+  let run_seed ?profile ?(n = 4) ?horizon ?drain ~seed () =
+    let params = default_params ~seed ~n in
+    let horizon_v = Option.value horizon ~default:2.0 in
+    let schedule =
+      Generator.generate ?profile ~seed ~n
+        ~byzantine:(Generator.byzantine_ok ~protocol:P.name)
+        ~horizon:horizon_v ()
+    in
+    run ~horizon:horizon_v ?drain ~params ~schedule ()
+
+  (* Greedy schedule minimization. Entries after the violation never ran,
+     so they are dropped without an oracle call; then single entries are
+     removed left-to-right, restarting after every success, as long as a
+     fresh run of the reduced schedule (same cluster parameters, fresh
+     engine) still produces a violation. *)
+  let minimize ?(max_runs = 64) ?horizon ?drain ~params ~schedule
+      ~violation_at () =
+    let runs = ref 0 in
+    let fails sched =
+      if !runs >= max_runs then false
+      else begin
+        incr runs;
+        (run ?horizon ?drain ~params ~schedule:sched ()).violation <> None
+      end
+    in
+    let current =
+      ref (List.filter (fun e -> e.Schedule.at <= violation_at) schedule)
+    in
+    let progress = ref true in
+    while !progress && !runs < max_runs do
+      progress := false;
+      let i = ref 0 in
+      while !i < List.length !current && !runs < max_runs do
+        let cand = List.filteri (fun j _ -> j <> !i) !current in
+        if fails cand then begin
+          current := cand;
+          progress := true
+        end
+        else incr i
+      done
+    done;
+    (!current, !runs)
+end

@@ -1,0 +1,70 @@
+(** Drive a fault schedule against a live cluster of any protocol, with
+    the safety auditor sampling throughout, and shrink failing schedules
+    to minimal reproducers.
+
+    A chaos run is a pure function of one integer seed: the seed fixes
+    the generated schedule, the cluster's RNG streams, and the
+    Gilbert–Elliott dwell draws, so any violation reproduces from its
+    seed alone ([run_seed]) or from its printed schedule ([run]). *)
+
+module Make (P : Poe_runtime.Protocol_intf.S) : sig
+  type outcome = {
+    schedule : Schedule.t;
+    violation : Auditor.violation option;
+    completed : int;  (** client requests completed across all hubs *)
+    samples : int;  (** auditor samples taken *)
+    final_time : float;  (** simulated time when the run stopped *)
+  }
+
+  val default_params : seed:int -> n:int -> Poe_harness.Cluster.params
+  (** A small materialized cluster (tight batches, few clients, fast
+      timeouts, short checkpoint period) sized so a multi-second chaos
+      round runs in wall-clock seconds. *)
+
+  val speculative : bool
+  (** Whether this protocol executes speculatively (currently: PoE), which
+      selects the auditor's relaxed mid-run agreement mode. *)
+
+  val run :
+    ?sample_interval:float ->
+    ?horizon:float ->
+    ?drain:float ->
+    params:Poe_harness.Cluster.params ->
+    schedule:Schedule.t ->
+    unit ->
+    outcome
+  (** Build a fresh cluster from [params], arm every schedule entry (each
+      application emits a ["chaos"] trace instant), and advance the engine
+      in [sample_interval] slices with an auditor sample after each — the
+      run stops at the first violation. [horizon] (default 2.0 s) is the
+      fault window; the extra [drain] (default 1.2 s) runs fault-free so
+      the cluster can converge before the final strict audit. *)
+
+  val run_seed :
+    ?profile:Generator.profile ->
+    ?n:int ->
+    ?horizon:float ->
+    ?drain:float ->
+    seed:int ->
+    unit ->
+    outcome
+  (** Generate the schedule for [seed] (byzantine flips gated on
+      {!Generator.byzantine_ok} for this protocol) and run it on
+      [default_params ~seed]. *)
+
+  val minimize :
+    ?max_runs:int ->
+    ?horizon:float ->
+    ?drain:float ->
+    params:Poe_harness.Cluster.params ->
+    schedule:Schedule.t ->
+    violation_at:float ->
+    unit ->
+    Schedule.t * int
+  (** Greedily shrink a failing schedule to a locally-minimal reproducer:
+      entries after the violation time are dropped outright (they never
+      ran), then single entries are removed as long as a fresh run of the
+      reduced schedule still produces a violation. Returns the reduced
+      schedule and the number of oracle runs spent (bounded by
+      [max_runs], default 64). *)
+end

@@ -1,0 +1,112 @@
+type byz = Equivocate | Keep_in_dark of int list | Silent
+
+type action =
+  | Crash of int
+  | Recover of int
+  | Block_link of { src : int; dst : int }
+  | Unblock_link of { src : int; dst : int }
+  | Partition of int list
+  | Heal
+  | Loss_burst of {
+      loss_bad : float;
+      mean_good : float;
+      mean_bad : float;
+      until : float;
+      seed : int;
+    }
+  | Latency_surge of { factor : float; until : float }
+  | Set_byzantine of { replica : int; byz : byz }
+  | Restore_honest of int
+
+type entry = { at : float; action : action }
+type t = entry list
+
+let sort t = List.stable_sort (fun a b -> Float.compare a.at b.at) t
+
+let pp_byz ppf = function
+  | Equivocate -> Format.pp_print_string ppf "equivocate"
+  | Keep_in_dark victims ->
+      Format.fprintf ppf "keep-in-dark[%s]"
+        (String.concat "," (List.map string_of_int victims))
+  | Silent -> Format.pp_print_string ppf "silent"
+
+(* Fixed precision everywhere: the printed schedule is the canonical form
+   compared byte-for-byte by the determinism tests. *)
+let pp_action ppf = function
+  | Crash r -> Format.fprintf ppf "crash replica %d" r
+  | Recover r -> Format.fprintf ppf "recover replica %d" r
+  | Block_link { src; dst } -> Format.fprintf ppf "block link %d->%d" src dst
+  | Unblock_link { src; dst } ->
+      Format.fprintf ppf "unblock link %d->%d" src dst
+  | Partition group ->
+      Format.fprintf ppf "partition {%s}"
+        (String.concat "," (List.map string_of_int group))
+  | Heal -> Format.pp_print_string ppf "heal"
+  | Loss_burst { loss_bad; mean_good; mean_bad; until; seed } ->
+      Format.fprintf ppf
+        "loss-burst bad=%.3f dwell=%.4f/%.4f until=%.4f seed=%d" loss_bad
+        mean_good mean_bad until seed
+  | Latency_surge { factor; until } ->
+      Format.fprintf ppf "latency-surge x%.2f until=%.4f" factor until
+  | Set_byzantine { replica; byz } ->
+      Format.fprintf ppf "set replica %d byzantine %a" replica pp_byz byz
+  | Restore_honest r -> Format.fprintf ppf "restore replica %d honest" r
+
+let pp_entry ppf { at; action } =
+  Format.fprintf ppf "t=%.4f  %a" at pp_action action
+
+let pp ppf t =
+  List.iter (fun e -> Format.fprintf ppf "%a@." pp_entry e) t
+
+let to_string t = Format.asprintf "%a" pp t
+
+let validate ~n t =
+  let err fmt = Format.kasprintf (fun s -> Error s) fmt in
+  let check_replica r =
+    if r < 0 || r >= n then err "replica %d out of range [0,%d)" r n
+    else Ok ()
+  in
+  let check_entry { at; action } =
+    if at < 0.0 then err "negative time %.4f" at
+    else
+      match action with
+      | Crash r | Recover r | Restore_honest r -> check_replica r
+      | Set_byzantine { replica; byz } -> (
+          match check_replica replica with
+          | Error _ as e -> e
+          | Ok () -> (
+              match byz with
+              | Keep_in_dark victims ->
+                  List.fold_left
+                    (fun acc v ->
+                      match acc with Error _ -> acc | Ok () -> check_replica v)
+                    (Ok ()) victims
+              | Equivocate | Silent -> Ok ()))
+      | Block_link { src; dst } | Unblock_link { src; dst } ->
+          if src < 0 || dst < 0 then err "negative node in link %d->%d" src dst
+          else Ok ()
+      | Partition group ->
+          List.fold_left
+            (fun acc r ->
+              match acc with Error _ -> acc | Ok () -> check_replica r)
+            (Ok ()) group
+      | Heal -> Ok ()
+      | Loss_burst { loss_bad; mean_good; mean_bad; until; _ } ->
+          if loss_bad < 0.0 || loss_bad >= 1.0 then
+            err "loss_bad %.3f outside [0,1)" loss_bad
+          else if mean_good <= 0.0 || mean_bad <= 0.0 then
+            err "non-positive dwell"
+          else if until < at then err "loss burst ends before it starts"
+          else Ok ()
+      | Latency_surge { factor; until } ->
+          if factor <= 0.0 then err "non-positive latency factor"
+          else if until < at then err "latency surge ends before it starts"
+          else Ok ()
+  in
+  let rec go last = function
+    | [] -> Ok ()
+    | e :: rest -> (
+        if e.at < last then err "schedule not sorted at t=%.4f" e.at
+        else match check_entry e with Error _ as r -> r | Ok () -> go e.at rest)
+  in
+  go 0.0 t

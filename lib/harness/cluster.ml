@@ -169,6 +169,27 @@ module Make (P : R.Protocol_intf.S) = struct
 
   let replica_ctx t id = P.ctx t.replicas.(id)
 
+  let replica_ctxs t = Array.map P.ctx t.replicas
+
+  (* Fail-pause / resume at the network layer (Jepsen's SIGSTOP nemesis):
+     the paused node sends nothing and receives nothing, but keeps its
+     state and timers, so a later [resume_replica] reconnects it and the
+     recovery machinery (checkpoint votes, state transfer) pulls it level.
+     Contrast with {!crash_replica}, which is a permanent fail-stop. *)
+  let pause_replica t id = Network.crash t.net id
+
+  let resume_replica t id = Network.recover t.net id
+
+  let is_paused t id = Network.is_crashed t.net id
+
+  let every t ~interval f =
+    if interval <= 0.0 then invalid_arg "Cluster.every";
+    let rec tick () =
+      f ();
+      ignore (Engine.schedule t.engine ~delay:interval tick)
+    in
+    ignore (Engine.schedule t.engine ~delay:interval tick)
+
   let committed_prefix_agrees t =
     let logs =
       Array.to_list t.replicas

@@ -52,6 +52,25 @@ module Make (P : R.Protocol_intf.S) : sig
 
   val replica_ctx : t -> int -> R.Replica_ctx.t
 
+  val replica_ctxs : t -> R.Replica_ctx.t array
+  (** Every replica's context, in id order — what the chaos safety auditor
+      samples (executed digests, stable checkpoints, chains, behaviors). *)
+
+  val pause_replica : t -> int -> unit
+  (** Fail-pause (Jepsen SIGSTOP style): disconnect the node at the network
+      layer — it sends and receives nothing — while its state and timers
+      survive. {!resume_replica} reconnects it; the recovery machinery then
+      pulls it level. Unlike {!crash_replica} this is reversible, which is
+      what a chaos schedule's crash/recover pair needs. *)
+
+  val resume_replica : t -> int -> unit
+  val is_paused : t -> int -> bool
+
+  val every : t -> interval:float -> (unit -> unit) -> unit
+  (** Run a callback every [interval] simulated seconds for the rest of the
+      run (first firing after one interval) — the hook the chaos auditor
+      and custom samplers attach to. *)
+
   val committed_prefix_agrees : t -> bool
   (** Safety invariant used by tests: the executed (seqno, digest) logs of
       all live honest replicas are pairwise prefix-compatible. *)

@@ -22,6 +22,9 @@ type Message.t +=
       (** replica → leader of [round+1]: a threshold signature share *)
   | Hs_new_view of { round : int }
       (** pacemaker: please lead [round], the previous one timed out *)
+  | Hs_block_request of { round : int }
+      (** commitment stalled on a block we never received: ask a peer to
+          re-send its proposal *)
 
 type replica = {
   ctx : Ctx.t;
@@ -31,20 +34,36 @@ type replica = {
      broadcast in rotating-leader mode). *)
   queue : Message.request Queue.t;
   queued : (int, unit) Hashtbl.t;
-  in_chain : (int, unit) Hashtbl.t;
-      (* requests sitting in not-yet-committed blocks *)
+  in_chain : (int, int) Hashtbl.t;
+      (* request key -> number of stored blocks carrying it. Committed
+         blocks keep their count forever — execution is asynchronous, so
+         dropping a key at commit time would let the next leader re-propose
+         it before [Exec.was_executed] turns true. Only a dead fork
+         decrements, releasing its requests for legitimate re-proposal. *)
   blocks : (int, Message.batch) Hashtbl.t;  (* round -> block *)
-  skipped : (int, unit) Hashtbl.t;
-      (* rounds a later proposal's QC explicitly jumped over *)
+  parents : (int, int) Hashtbl.t;
+      (* round -> the qc_round its accepted proposal extended: the block's
+         parent in the block tree. Commitment walks these pointers. *)
   votes : (int, (int, string) Hashtbl.t) Hashtbl.t;
       (* as next leader: round -> voter -> digest *)
   new_views : (int, (int, unit) Hashtbl.t) Hashtbl.t;
   mutable round : int;          (* highest round with an accepted proposal *)
   mutable qc_high : int;        (* highest round we hold a QC for *)
+  mutable locked : int;
+      (* two-chain lock: never vote for a proposal extending a QC below
+         this round *)
+  mutable commit_tip : int;
+      (* highest QC'd round heading a consecutive three-chain; commitment
+         walks the block tree down from here *)
   mutable proposed_for : int;   (* highest round this replica proposed *)
   mutable committed_upto : int; (* offered to execution *)
   mutable timeout_round : int;  (* round currently being waited for *)
   mutable timer_generation : int;
+  mutable pacemaker_backoff : int;
+      (* consecutive timeouts without round progress; resets on progress *)
+  mutable fetch_round : int;    (* block currently being re-requested *)
+  mutable fetch_attempts : int;
+  mutable fetch_deadline : float;
 }
 
 let ctx t = t.ctx
@@ -69,44 +88,148 @@ let tr_phase t ~round phase =
 let empty_block round =
   { Message.digest = Printf.sprintf "hs-empty-%d" round; reqs = [||] }
 
-(* Three-chain commit: a proposal carrying a QC for [qc_round] commits
-   every round at or below [qc_round - 2]. A round commits with its real
-   block if we hold it, or as an empty block if the chain explicitly
-   skipped it; a round we simply never received stalls commitment until
-   state transfer fills it (offering a guessed empty block there could
-   diverge from replicas that hold the real one). *)
-let commit_upto t upto =
-  let release_requests (batch : Message.batch) =
-    Array.iter
-      (fun req -> Hashtbl.remove t.in_chain (Message.request_key req))
-      batch.Message.reqs
+(* Chained-HotStuff commitment. A round is final only when it sits on the
+   branch below a certified three-chain of consecutive rounds: when we
+   hold the QC for [tip] and the block tree shows tip-2 <- tip-1 <- tip,
+   round tip-2 and every ancestor commit. The committed rounds are found
+   by walking parent pointers down from the tip; rounds the branch jumps
+   over are on no chain and commit as empty blocks. Deriving "skipped"
+   any other way (e.g. marks accumulated from whatever proposals happened
+   to arrive) is unsafe: a stale post-partition leader would make lagging
+   replicas commit a round as empty while others committed its real
+   block. A branch round whose proposal we never received stalls
+   commitment until a peer re-sends it ({!request_block}). *)
+let rec commit_branch t ~tip_qc =
+  if
+    tip_qc >= 2
+    && Hashtbl.find_opt t.parents tip_qc = Some (tip_qc - 1)
+    && Hashtbl.find_opt t.parents (tip_qc - 1) = Some (tip_qc - 2)
+  then t.commit_tip <- max t.commit_tip tip_qc;
+  let boundary = t.commit_tip - 2 in
+  if boundary > t.committed_upto then begin
+    (* Rounds on the committed branch above committed_upto, ascending. *)
+    let rec branch r acc =
+      if r <= t.committed_upto then Ok acc
+      else
+        match Hashtbl.find_opt t.parents r with
+        | None -> Error r
+        | Some p -> branch p (r :: acc)
+    in
+    match branch t.commit_tip [] with
+    | Error gap -> request_block t gap
+    | Ok chain ->
+        let release_requests (batch : Message.batch) =
+          Array.iter
+            (fun req ->
+              let key = Message.request_key req in
+              match Hashtbl.find_opt t.in_chain key with
+              | Some c when c > 1 -> Hashtbl.replace t.in_chain key (c - 1)
+              | Some _ -> Hashtbl.remove t.in_chain key
+              | None -> ())
+            batch.Message.reqs
+        in
+        let rec go r chain =
+          if r <= boundary then
+            match chain with
+            | b :: rest when b = r -> (
+                match Hashtbl.find_opt t.blocks r with
+                | Some batch ->
+                    tr_phase t ~round:r "commit";
+                    Exec.offer t.exec ~seqno:r ~view:r ~batch
+                      ~proof:(Block.Threshold_sig "hs-qc");
+                    t.committed_upto <- r;
+                    go (r + 1) rest
+                | None ->
+                    (* parents without blocks cannot happen (stored
+                       together); stall defensively rather than guess *)
+                    request_block t r)
+            | chain ->
+                (* Not an ancestor of the committed tip: the branch
+                   abandoned this round. If we hold a block for it (a dead
+                   fork), free its requests for re-proposal. *)
+                (match Hashtbl.find_opt t.blocks r with
+                | Some batch -> release_requests batch
+                | None -> ());
+                Exec.offer t.exec ~seqno:r ~view:r ~batch:(empty_block r)
+                  ~proof:(Block.Threshold_sig "hs-skip");
+                t.committed_upto <- r;
+                go (r + 1) chain
+        in
+        go (t.committed_upto + 1) chain
+  end
+
+(* Ask a peer to re-send the proposal for [r]: first its leader, then the
+   others in turn, one request per view-timeout, so a lost proposal on the
+   committed branch cannot stall commitment forever. *)
+and request_block t r =
+  if t.fetch_round <> r then begin
+    t.fetch_round <- r;
+    t.fetch_attempts <- 0;
+    t.fetch_deadline <- 0.0
+  end;
+  let now = Ctx.now t.ctx in
+  if now >= t.fetch_deadline then begin
+    let dst = (leader_of t r + t.fetch_attempts) mod n t in
+    let dst = if dst = Ctx.id t.ctx then (dst + 1) mod n t else dst in
+    t.fetch_attempts <- t.fetch_attempts + 1;
+    t.fetch_deadline <- now +. (cfg t).Config.view_timeout;
+    if Metrics.enabled () then Metrics.cincr "hotstuff.block_fetches";
+    Ctx.send_replica t.ctx ~dst ~bytes:Message.Wire.vote
+      (Hs_block_request { round = r })
+  end
+
+(* A leader's proposal broadcast, including the byzantine behaviours of
+   Example 3 (mirroring the other protocols' propose paths). Equivocation
+   splits the backups in two halves with conflicting digests: each half is
+   smaller than nf, so no QC can ever form on an equivocated round — the
+   pacemaker skips it and it commits as an empty block everywhere. *)
+let broadcast_proposal t ~round ~(batch : Message.batch) =
+  let bytes = Message.Wire.propose (cfg t) in
+  let qc_round = t.qc_high in
+  match Ctx.behavior t.ctx with
+  | Ctx.Honest ->
+      Ctx.broadcast_replicas t.ctx ~include_self:true ~bytes
+        (Hs_proposal { round; batch; qc_round })
+  | Ctx.Silent | Ctx.Stop_proposing -> ()
+  | Ctx.Keep_in_dark dark ->
+      let dsts =
+        List.init (n t) (fun i -> i)
+        |> List.filter (fun i -> not (List.mem i dark))
+      in
+      Ctx.broadcast_to t.ctx ~dsts ~bytes (Hs_proposal { round; batch; qc_round })
+  | Ctx.Equivocate ->
+      let me = Ctx.id t.ctx in
+      let others =
+        List.init (n t) (fun i -> i) |> List.filter (fun i -> i <> me)
+      in
+      let half = List.length others / 2 in
+      let left = me :: List.filteri (fun i _ -> i < half) others in
+      let right = List.filteri (fun i _ -> i >= half) others in
+      let forged =
+        { batch with Message.digest = batch.Message.digest ^ "!equiv" }
+      in
+      Ctx.broadcast_to t.ctx ~dsts:left ~bytes
+        (Hs_proposal { round; batch; qc_round });
+      Ctx.broadcast_to t.ctx ~dsts:right ~bytes
+        (Hs_proposal { round; batch = forged; qc_round })
+
+(* A leader may only extend a branch whose every uncommitted block it
+   holds. It filters its batch through [in_chain], which it can only have
+   populated from blocks it actually received: proposing on top of a
+   missed ancestor would re-propose that ancestor's requests, and both
+   rounds of the same branch would commit — executing the requests twice.
+   Missing ancestors are fetched; the proposal waits for them. *)
+let branch_known t ~tip =
+  let rec walk r =
+    if r <= t.committed_upto then true
+    else
+      match Hashtbl.find_opt t.parents r with
+      | None ->
+          request_block t r;
+          false
+      | Some p -> walk p
   in
-  let rec go r =
-    if r <= upto then
-      match Hashtbl.find_opt t.blocks r with
-      | Some batch when not (Hashtbl.mem t.skipped r) ->
-          release_requests batch;
-          tr_phase t ~round:r "commit";
-          Exec.offer t.exec ~seqno:r ~view:r ~batch
-            ~proof:(Block.Threshold_sig "hs-qc");
-          t.committed_upto <- r;
-          go (r + 1)
-      | maybe_block ->
-          if Hashtbl.mem t.skipped r then begin
-            (* Explicitly jumped over: commits as an empty block. If we do
-               hold a real block for it, the chain dropped it — free its
-               requests for re-proposal. *)
-            (match maybe_block with
-            | Some batch -> release_requests batch
-            | None -> ());
-            Exec.offer t.exec ~seqno:r ~view:r ~batch:(empty_block r)
-              ~proof:(Block.Threshold_sig "hs-skip");
-            t.committed_upto <- r;
-            go (r + 1)
-          end
-          (* else: unknown round — stall until Recovery fills the gap *)
-  in
-  go (t.committed_upto + 1)
+  walk tip
 
 (* ------------------------------------------------------------------ *)
 (* Pacemaker                                                           *)
@@ -116,8 +239,17 @@ let rec arm_timer t =
   t.timeout_round <- expected;
   t.timer_generation <- t.timer_generation + 1;
   let generation = t.timer_generation in
+  (* Exponential backoff, the same 2^min(rounds,6) rule PoE and PBFT apply
+     to their view-change timeouts: sustained faults double the
+     pacemaker's patience instead of hammering NEW-VIEWs at a fixed
+     cadence, which under long outages degenerates into a livelock where
+     every leader is deposed before it can gather a quorum. *)
+  let delay =
+    (cfg t).Config.view_timeout
+    *. float_of_int (1 lsl min t.pacemaker_backoff 6)
+  in
   ignore
-    (Ctx.schedule t.ctx ~delay:(cfg t).Config.view_timeout (fun () ->
+    (Ctx.schedule t.ctx ~delay (fun () ->
          if generation = t.timer_generation && t.round < expected then begin
            (* The round stalled: ask its leader (or, on repeat, the next
               one) to take over with our NEW-VIEW. *)
@@ -125,6 +257,7 @@ let rec arm_timer t =
              Trace.instant ~ts:(Ctx.now t.ctx) ~node:(Ctx.id t.ctx) ~cat:name
                ~view:expected "pacemaker_timeout";
            if Metrics.enabled () then Metrics.cincr "hotstuff.pacemaker_timeouts";
+           t.pacemaker_backoff <- t.pacemaker_backoff + 1;
            Ctx.send_replica t.ctx ~dst:(leader_of t expected)
              ~bytes:Message.Wire.vote
              (Hs_new_view { round = expected });
@@ -157,6 +290,7 @@ and try_lead t ~round =
     && t.proposed_for < round
     && t.qc_high >= round - 1
     && round = t.round + 1
+    && branch_known t ~tip:t.qc_high
   then begin
     let reqs = next_batch t in
     (* Propose even when idle if uncommitted blocks still need the chain
@@ -173,10 +307,7 @@ and try_lead t ~round =
       let c = costs t in
       Ctx.work t.ctx Server.Worker
         ~cost:(Cost.combine_cost c ~shares:(nf t))
-        (fun () ->
-          Ctx.broadcast_replicas t.ctx ~include_self:true
-            ~bytes:(Message.Wire.propose (cfg t))
-            (Hs_proposal { round; batch; qc_round = t.qc_high }))
+        (fun () -> broadcast_proposal t ~round ~batch)
     end
   end
 
@@ -184,26 +315,42 @@ and try_lead t ~round =
 (* The replica role                                                    *)
 
 and on_proposal t ~src ~round ~(batch : Message.batch) ~qc_round =
-  if src = leader_of t round && round > t.committed_upto then begin
-    (* Store the block even when the proposal arrives late (network
-       jitter) so commitment never waits on a block we already saw. *)
+  (* Proposals for the current or a future round must come from that
+     round's leader; older blocks are also accepted from peers answering a
+     block re-request (voting below is gated on round freshness anyway). *)
+  if
+    (src = leader_of t round || round < t.round)
+    && round > t.committed_upto
+  then begin
+    (* Store the block and its parent pointer even when the proposal
+       arrives late (network jitter) so commitment never waits on a block
+       we already saw. *)
     if not (Hashtbl.mem t.blocks round) then begin
       Hashtbl.replace t.blocks round batch;
+      Hashtbl.replace t.parents round qc_round;
       tr_phase t ~round "propose";
       Array.iter
-        (fun req -> Hashtbl.replace t.in_chain (Message.request_key req) ())
+        (fun req ->
+          let key = Message.request_key req in
+          Hashtbl.replace t.in_chain key
+            (1 + Option.value ~default:0 (Hashtbl.find_opt t.in_chain key)))
         batch.Message.reqs
     end;
-    (* The carried QC certifies [qc_round]; rounds strictly between it and
-       this proposal were abandoned by the pacemaker. *)
-    for r = qc_round + 1 to round - 1 do
-      Hashtbl.replace t.skipped r ()
-    done;
     t.qc_high <- max t.qc_high qc_round;
-    (* Three-chain: everything up to qc_round - 2 is now committed. *)
-    commit_upto t (qc_round - 2);
-    if round > t.round then begin
+    (* Two-chain lock: a QC for [qc_round] directly on top of its
+       predecessor locks that predecessor — we will never again vote for a
+       branch forking below it. *)
+    if
+      qc_round >= 1
+      && Hashtbl.find_opt t.parents qc_round = Some (qc_round - 1)
+    then t.locked <- max t.locked (qc_round - 1);
+    commit_branch t ~tip_qc:qc_round;
+    (* A late-arriving block may be the ancestor [try_lead] was waiting
+       for (fetched before proposing on an incompletely-known branch). *)
+    if round < t.round then try_lead t ~round:(t.round + 1);
+    if round > t.round && qc_round >= t.locked then begin
       t.round <- round;
+      t.pacemaker_backoff <- 0;
       (* Vote to the next leader: a threshold share on the block. *)
       let c = costs t in
       Ctx.work t.ctx Server.Worker
@@ -241,6 +388,8 @@ and on_vote t ~src ~round ~digest =
           in
           if matching >= nf t && t.qc_high < round then begin
             t.qc_high <- round;
+            (* The freshly formed QC may complete a three-chain. *)
+            commit_branch t ~tip_qc:round;
             try_lead t ~round:(round + 1)
           end)
     end
@@ -275,9 +424,7 @@ and on_new_view t ~src ~round =
       else
         Message.batch_of_requests ~materialize:(cfg t).Config.materialize reqs
     in
-    Ctx.broadcast_replicas t.ctx ~include_self:true
-      ~bytes:(Message.Wire.propose (cfg t))
-      (Hs_proposal { round; batch; qc_round = t.qc_high })
+    broadcast_proposal t ~round ~batch
   end
 
 let on_client_request t (req : Message.request) =
@@ -311,15 +458,21 @@ let create_replica ctx =
       queued = Hashtbl.create 4096;
       in_chain = Hashtbl.create 1024;
       blocks = Hashtbl.create 1024;
-      skipped = Hashtbl.create 64;
+      parents = Hashtbl.create 1024;
       votes = Hashtbl.create 64;
       new_views = Hashtbl.create 16;
       round = -1;
       qc_high = -1;
+      locked = -1;
+      commit_tip = -1;
       proposed_for = -1;
       committed_upto = -1;
       timeout_round = 0;
       timer_generation = 0;
+      pacemaker_backoff = 0;
+      fetch_round = -1;
+      fetch_attempts = 0;
+      fetch_deadline = 0.0;
     }
   in
   t.exec <-
@@ -355,6 +508,15 @@ let on_message t ~src msg =
         on_proposal t ~src ~round ~batch ~qc_round
     | Hs_vote { round; digest } -> on_vote t ~src ~round ~digest
     | Hs_new_view { round } -> on_new_view t ~src ~round
+    | Hs_block_request { round } -> (
+        match
+          (Hashtbl.find_opt t.blocks round, Hashtbl.find_opt t.parents round)
+        with
+        | Some batch, Some qc_round ->
+            Ctx.send_replica t.ctx ~dst:src
+              ~bytes:(Message.Wire.propose (cfg t))
+              (Hs_proposal { round; batch; qc_round })
+        | _ -> ())
     | _ -> ()
 
 let receive_cost ~src config cost msg =
@@ -364,7 +526,8 @@ let receive_cost ~src config cost msg =
       let base = cost.Cost.msg_in in
       match msg with
       | Hs_proposal _ -> base +. cost.Cost.ts_verify
-      | Hs_vote _ | Hs_new_view _ -> base +. cost.Cost.mac_verify
+      | Hs_vote _ | Hs_new_view _ | Hs_block_request _ ->
+          base +. cost.Cost.mac_verify
       | _ -> base)
 
 let hub_hooks config =

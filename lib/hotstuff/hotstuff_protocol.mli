@@ -11,11 +11,19 @@
     throughput in the paper's experiments.
 
     A pacemaker advances past crashed leaders: when a round times out,
-    replicas send NEW-VIEW for the next round to its leader, and skipped
-    rounds commit as empty blocks. We implement the happy path plus the
-    pacemaker; the full locked-QC safety argument under byzantine leaders
-    is out of scope for the paper's experiments (all HotStuff runs are
-    crash-only) and documented as such. *)
+    replicas send NEW-VIEW for the next round to its leader, and rounds the
+    committed branch jumps over commit as empty blocks.
+
+    Commitment follows the chained-HotStuff rules: a block is final only
+    when it heads a three-chain of {e consecutive} rounds whose tip is
+    certified, and the committed rounds are found by walking the block
+    tree's parent pointers from that tip — never by guessing from locally
+    accumulated "skipped" marks, which under partitions lets two honest
+    replicas commit different blocks at one round. Replicas also lock on
+    the two-chain (vote only for proposals extending a QC at least as high
+    as their lock), so a stale leader rejoining after a partition cannot
+    win votes for a branch that forks below a committed block. Both rules
+    exist because the chaos engine exercises exactly those schedules. *)
 
 include Poe_runtime.Protocol_intf.S
 

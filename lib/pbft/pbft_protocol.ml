@@ -447,9 +447,25 @@ and enter_new_view t ~new_view ~vcs =
      dead view will never close). *)
   if is_primary t then begin
     Pipeline.reset_window t.pipeline;
+    (* Gaps between kmax and the highest prepared slot get null batches
+       (the "null request" of the O computation): a slot no payload
+       prepared can never close otherwise, and execution would park behind
+       it forever. *)
     let entries =
-      Hashtbl.fold (fun _ e acc -> e :: acc) reproposals []
-      |> List.sort (fun a b -> compare a.Message.e_seqno b.Message.e_seqno)
+      List.init (max_reproposed - kmax) (fun i ->
+          let seqno = kmax + 1 + i in
+          match Hashtbl.find_opt reproposals seqno with
+          | Some e -> e
+          | None ->
+              {
+                Message.e_seqno = seqno;
+                e_view = new_view;
+                e_batch =
+                  {
+                    Message.digest = Printf.sprintf "pbft-null-%d" seqno;
+                    reqs = [||];
+                  };
+              })
     in
     List.iter
       (fun (e : Message.exec_entry) ->
@@ -459,6 +475,17 @@ and enter_new_view t ~new_view ~vcs =
         let slot = slot_of t ~view:new_view ~seqno:e.e_seqno in
         accept_preprepare t ~view:new_view ~seqno:e.e_seqno slot e.e_batch)
       entries;
+    (* Requests in a re-proposed prepared batch are already on their way
+       back through consensus, but [Exec.was_executed] stays false for
+       them until the slot re-commits: mark them proposed in the pipeline
+       so neither the watched backlog below nor a client retransmission
+       arriving during that window gets them proposed a second time at a
+       fresh seqno — both slots would commit, executing the requests
+       twice. *)
+    Hashtbl.iter
+      (fun _ (e : Message.exec_entry) ->
+        Array.iter (Pipeline.mark_proposed t.pipeline) e.e_batch.Message.reqs)
+      reproposals;
     List.iter
       (fun req ->
         if not (Exec.was_executed t.exec req) then

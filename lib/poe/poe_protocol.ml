@@ -537,7 +537,20 @@ and enter_new_view t ~new_view ~vcs =
       None vcs
   in
   let kmax = match best with Some p -> p.exec_upto | None -> -1 in
-  if Exec.k_exec t.exec > kmax then ignore (Exec.rollback_to t.exec ~seqno:kmax);
+  (* A stable checkpoint is certified by nf votes and is final: rollback
+     never crosses it (the undo log below it is truncated anyway). The
+     summaries can be older than our checkpoint — a replica that missed a
+     view change, then caught up by state transfer from the new view,
+     receives the retransmitted NV-PROPOSE only afterwards; its adopted
+     prefix already extends the new view's history, so there is nothing
+     to unwind. *)
+  let floor = Exec.stable t.exec in
+  let target = max kmax floor in
+  if Exec.k_exec t.exec > target then
+    ignore (Exec.rollback_to t.exec ~seqno:target);
+  (* Certified-but-unexecuted slots of the dead view are abandoned, not
+     adopted: drop them before they can execute behind a filled gap. *)
+  Exec.abandon_unexecuted t.exec;
   (match best with
   | None -> ()
   | Some p ->
@@ -555,7 +568,12 @@ and enter_new_view t ~new_view ~vcs =
           p.entries
       in
       (match divergence with
-      | Some e -> ignore (Exec.rollback_to t.exec ~seqno:(e.e_seqno - 1))
+      | Some e ->
+          (* Same floor as above: a divergence at or below the stable
+             checkpoint can only come from a stale summary. *)
+          let to_seqno = max (e.e_seqno - 1) floor in
+          if Exec.k_exec t.exec > to_seqno then
+            ignore (Exec.rollback_to t.exec ~seqno:to_seqno)
       | None -> ());
       List.iter
         (fun (e : Message.exec_entry) ->
@@ -569,7 +587,10 @@ and enter_new_view t ~new_view ~vcs =
   tr_instant t "new_view";
   if Metrics.enabled () then Metrics.cincr "poe.new_views";
   t.last_nv <- Some (new_view, vcs);
-  t.next_seqno <- kmax + 1;
+  (* If the checkpoint floor kept us ahead of [kmax], new slots must open
+     above everything we hold final — re-assigning a certified-final seqno
+     to a fresh batch would fork the sequence. *)
+  t.next_seqno <- max (kmax + 1) (Exec.k_exec t.exec + 1);
   (* Stale per-view consensus state is dead: every undecided proposal of
      older views is either in the adopted prefix or abandoned. *)
   Hashtbl.iter
@@ -583,6 +604,21 @@ and enter_new_view t ~new_view ~vcs =
      the dead view will never close). *)
   if is_primary t then begin
     Pipeline.reset_window t.pipeline;
+    (* A new primary that lagged behind the adopted prefix (crashed or
+       partitioned while those slots executed) has [Exec.was_executed]
+       still false for requests the cluster already decided: dedup must
+       come from the view-change summaries, not from local execution.
+       Every executed request appears in at least one of any nf summaries
+       (Proposition 5), so marking the union covers the whole prefix. *)
+    List.iter
+      (fun ((_, p) : int * vc_payload) ->
+        List.iter
+          (fun (e : Message.exec_entry) ->
+            Array.iter
+              (Pipeline.mark_proposed t.pipeline)
+              e.e_batch.Message.reqs)
+          p.entries)
+      vcs;
     List.iter
       (fun req ->
         if not (Exec.was_executed t.exec req) then

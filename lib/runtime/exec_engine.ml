@@ -177,6 +177,18 @@ let rollback_to t ~seqno =
   t.epoch <- t.epoch + 1;
   reverted
 
+(* Abandon every decision that has not yet applied to state: batches
+   parked in [ready] waiting for a gap, and jobs still queued on the
+   execute lane. A view change must call this even when nothing rolls
+   back — a batch certified in the dead view but stalled behind a lost
+   predecessor is NOT part of the adopted prefix, and letting it execute
+   once the new view fills the gap would double-execute its requests
+   (the new primary re-proposes them from its watch list). *)
+let abandon_unexecuted t =
+  Hashtbl.reset t.ready;
+  t.k_sched <- t.k_exec;
+  t.epoch <- t.epoch + 1
+
 let force_adopt t ~seqno ~view ~batch ~proof =
   (* A pump job for this seqno may already be in flight on the execute
      lane (k_sched has passed it): executing here too would double-apply
@@ -200,16 +212,17 @@ let adopt_snapshot t ~upto ~rows ~blocks =
     t.epoch <- t.epoch + 1
   end
 
+(* Checkpoint GC drops the retained batches but keeps [exec_keys]: a
+   request stays deduplicable forever, so a client retransmission that
+   straggles in after its batch was garbage-collected (long partition,
+   heavy bursty loss) cannot be executed a second time. Keys are only
+   removed on rollback, where re-execution is legitimate. The table grows
+   with the run — an int per request — which a simulation afford gladly
+   for the at-most-once guarantee. *)
 let gc_below t ~seqno =
   let dropped = ref [] in
   Hashtbl.iter
-    (fun k (r : record) ->
-      if k <= seqno then begin
-        dropped := k :: !dropped;
-        Array.iter
-          (fun req -> Hashtbl.remove t.exec_keys (Message.request_key req))
-          r.batch.Message.reqs
-      end)
+    (fun k (_ : record) -> if k <= seqno then dropped := k :: !dropped)
     t.executed;
   List.iter (Hashtbl.remove t.executed) !dropped
 

@@ -44,13 +44,26 @@ val executed_since : t -> int -> (int * int * Message.batch) list
     ascending — the "E" summary of a VC-REQUEST (Fig. 5 line 4). *)
 
 val was_executed : t -> Message.request -> bool
-(** Whether this request was part of a retained executed batch (duplicate
-    suppression for client re-forwards). *)
+(** Whether this request was part of any currently-live executed batch —
+    including batches already garbage-collected below the stable
+    checkpoint (duplicate suppression for client re-forwards must outlive
+    retention, or a straggling retransmission after a long partition would
+    be executed twice). Rolled-back executions are forgotten, so their
+    requests can run again. *)
 
 val rollback_to : t -> seqno:int -> int
 (** Revert executed batches above [seqno] (undo log + ledger + bookkeeping);
     returns the number reverted. Pending offers above the point are
     discarded. *)
+
+val abandon_unexecuted : t -> unit
+(** Discard every decision not yet applied to state: offers parked behind
+    a sequence gap and jobs still queued on the execute lane. A view
+    change must call this even when nothing rolls back — a batch
+    certified in the dead view but stalled behind a lost predecessor is
+    not part of the adopted prefix; if it stayed parked it would execute
+    the moment the new view fills the gap, duplicating requests the new
+    primary re-proposes. *)
 
 val force_adopt :
   t -> seqno:int -> view:int -> batch:Message.batch ->

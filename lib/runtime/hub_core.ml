@@ -8,6 +8,7 @@ type request_state = {
   mutable responses : (int * (int * int * string)) list;
   mutable first_sent : float;
   mutable retries : int;
+  mutable next_deadline : float;
 }
 
 type send_mode = To_primary | To_all
@@ -80,6 +81,17 @@ let broadcast_replicas t ~bytes msg =
 
 let primary t = Config.primary_of_view t.config t.believed_view
 
+(* Exponential retransmission backoff with seeded jitter: the deadline
+   doubles with each retry (capped at 64x so requests still recover within
+   liveness-test horizons) and is stretched by up to 25% per draw, so a
+   heavy-loss episode de-synchronizes the retransmissions of thousands of
+   clients instead of re-bursting them on one sweep tick. *)
+let arm_deadline t rs =
+  let factor = float_of_int (1 lsl min rs.retries 6) in
+  let jitter = 1.0 +. (0.25 *. Rng.float t.rng 1.0) in
+  rs.next_deadline <-
+    Engine.now t.engine +. (t.config.Config.request_timeout *. factor *. jitter)
+
 let flush t =
   t.flush_scheduled <- false;
   if t.out_count > 0 then begin
@@ -122,8 +134,15 @@ let submit_next t client =
       }
     in
     let rs =
-      { req; responses = []; first_sent = Engine.now t.engine; retries = 0 }
+      {
+        req;
+        responses = [];
+        first_sent = Engine.now t.engine;
+        retries = 0;
+        next_deadline = 0.0;
+      }
     in
+    arm_deadline t rs;
     Hashtbl.replace t.outstanding (client, rid) rs;
     t.out_buffer <- req :: t.out_buffer;
     t.out_count <- t.out_count + 1;
@@ -186,6 +205,7 @@ let forward_to_all t rs =
 
 let handle_timeout t rs =
   rs.retries <- rs.retries + 1;
+  arm_deadline t rs;
   if Poe_obs.Trace.enabled () then
     Poe_obs.Trace.instant ~ts:(Engine.now t.engine) ~node:(node_id t)
       ~cat:"client"
@@ -202,13 +222,7 @@ let rec timeout_sweep t =
   let now = Engine.now t.engine in
   let expired = ref [] in
   Hashtbl.iter
-    (fun _ rs ->
-      let deadline =
-        rs.first_sent
-        +. (t.config.Config.request_timeout
-           *. float_of_int (1 lsl min rs.retries 6))
-      in
-      if now >= deadline then expired := rs :: !expired)
+    (fun _ rs -> if now >= rs.next_deadline then expired := rs :: !expired)
     t.outstanding;
   List.iter (fun rs -> handle_timeout t rs) !expired;
   if not t.paused then

@@ -20,6 +20,10 @@ type request_state = {
       (** replica id -> (view, seqno, result digest) *)
   mutable first_sent : float;
   mutable retries : int;
+  mutable next_deadline : float;
+      (** when the next retransmission fires: exponential backoff (doubling
+          per retry, capped at 64x) with up to 25% seeded jitter per arm,
+          so lossy runs do not degenerate into synchronized storms *)
 }
 
 type send_mode =

@@ -21,6 +21,7 @@ let in_flight t = t.in_flight
 let queued t = Queue.length t.queue
 
 let already_proposed t req = Hashtbl.mem t.seen (Message.request_key req)
+let mark_proposed t req = Hashtbl.replace t.seen (Message.request_key req) ()
 
 let config t = Replica_ctx.config t.ctx
 

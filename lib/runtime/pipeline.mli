@@ -39,3 +39,11 @@ val drain_pending : t -> Message.request list
     view change to re-propose the backlog). *)
 
 val already_proposed : t -> Message.request -> bool
+
+val mark_proposed : t -> Message.request -> unit
+(** Record the request's key as already proposed without enqueueing it.
+    A new primary adopting slots still in flight in its view (e.g.
+    PBFT's re-proposed prepared batches) marks their requests so a
+    client retransmission arriving before the slot re-commits — while
+    [Exec.was_executed] is still false — is not proposed a second time
+    at a fresh sequence number. *)

@@ -30,6 +30,15 @@ type t = {
   threshold : (Poe_crypto.Threshold.scheme * Poe_crypto.Threshold.signer) option;
   mutable alive : bool;
   mutable behavior : behavior;
+  (* Audit bookkeeping (see the safety auditor in lib/chaos): the last
+     stable checkpoint, how many times a snapshot reset the execution
+     bookkeeping, and a latch counting requests that were live-executed
+     twice at once — an at-most-once violation. *)
+  mutable stable : int;
+  mutable snapshot_gen : int;
+  exec_counts : (int, int) Hashtbl.t; (* request key -> live executions *)
+  keys_by_seqno : (int, int array) Hashtbl.t;
+  mutable dup_execs : int;
 }
 
 let create ~id ~config ~cost ~engine ~net ~server ~stats ~rng ?threshold () =
@@ -59,6 +68,11 @@ let create ~id ~config ~cost ~engine ~net ~server ~stats ~rng ?threshold () =
     executed_count = 0;
     alive = true;
     behavior = Honest;
+    stable = -1;
+    snapshot_gen = 0;
+    exec_counts = Hashtbl.create 4096;
+    keys_by_seqno = Hashtbl.create 1024;
+    dup_execs = 0;
   }
 
 let id t = t.id
@@ -89,23 +103,30 @@ let out_cost t ~bytes ~fanout =
 let raw_send t ~dst ~bytes msg =
   Network.send t.net ~src:t.id ~dst ~bytes msg
 
+(* A [Silent] replica is byzantine-mute: it keeps receiving and executing
+   but suppresses every outbound message (votes, checkpoints, responses),
+   unlike a fail-stop kill it can later flip back to [Honest]. *)
+let sending t = t.alive && t.behavior <> Silent
+
 let send_replica t ~dst ~bytes msg =
-  if t.alive then
+  if sending t then
     Server.submit t.server Server.Io ~cost:(out_cost t ~bytes ~fanout:1)
-      (fun () -> if t.alive then raw_send t ~dst ~bytes msg)
+      (fun () -> if sending t then raw_send t ~dst ~bytes msg)
 
 let send_hub t ~hub ~bytes msg =
-  if t.alive then
+  if sending t then
     Server.submit t.server Server.Io ~cost:(out_cost t ~bytes ~fanout:1)
-      (fun () -> if t.alive then raw_send t ~dst:(t.config.Config.n + hub) ~bytes msg)
+      (fun () ->
+        if sending t then raw_send t ~dst:(t.config.Config.n + hub) ~bytes msg)
 
 let broadcast_to t ~dsts ~bytes msg =
-  if t.alive then begin
+  if sending t then begin
     let fanout = List.length dsts in
     if fanout > 0 then
       Server.submit t.server Server.Io ~cost:(out_cost t ~bytes ~fanout)
         (fun () ->
-          if t.alive then List.iter (fun dst -> raw_send t ~dst ~bytes msg) dsts)
+          if sending t then
+            List.iter (fun dst -> raw_send t ~dst ~bytes msg) dsts)
   end
 
 let broadcast_replicas ?(include_self = false) t ~bytes msg =
@@ -148,11 +169,40 @@ let execute_batch t ~view ~seqno (batch : Message.batch) ~proof =
   in
   t.executed <- (seqno, batch.digest) :: t.executed;
   t.executed_count <- t.executed_count + 1;
+  (* At-most-once accounting: a request key whose live-execution count
+     reaches 2 was applied twice without the first being rolled back. *)
+  let keys =
+    Array.map (fun (r : Message.request) -> Message.request_key r) batch.reqs
+  in
+  Hashtbl.replace t.keys_by_seqno seqno keys;
+  Array.iter
+    (fun key ->
+      let count = Option.value (Hashtbl.find_opt t.exec_counts key) ~default:0 in
+      if count >= 1 then t.dup_execs <- t.dup_execs + 1;
+      Hashtbl.replace t.exec_counts key (count + 1))
+    keys;
   result_digest
+
+let forget_exec_keys t ~above =
+  Hashtbl.fold (fun s _ acc -> if s > above then s :: acc else acc)
+    t.keys_by_seqno []
+  |> List.iter (fun s ->
+         (match Hashtbl.find_opt t.keys_by_seqno s with
+         | Some keys ->
+             Array.iter
+               (fun key ->
+                 match Hashtbl.find_opt t.exec_counts key with
+                 | Some c when c > 1 -> Hashtbl.replace t.exec_counts key (c - 1)
+                 | Some _ -> Hashtbl.remove t.exec_counts key
+                 | None -> ())
+               keys
+         | None -> ());
+         Hashtbl.remove t.keys_by_seqno s)
 
 let rollback_to t ~seqno =
   t.executed <- List.filter (fun (s, _) -> s <= seqno) t.executed;
   t.executed_count <- List.length t.executed;
+  forget_exec_keys t ~above:seqno;
   match t.undo with
   | None -> 0
   | Some undo ->
@@ -170,6 +220,7 @@ let rollback_to t ~seqno =
       reverted
 
 let stable_checkpoint t ~seqno =
+  t.stable <- max t.stable seqno;
   match t.undo with
   | None -> ()
   | Some undo -> Undo_log.truncate undo ~upto:seqno
@@ -192,6 +243,13 @@ let checkpoint_snapshot t ~upto =
 let install_snapshot t ~upto ~rows ~blocks =
   t.executed <- [];
   t.executed_count <- 0;
+  (* The transferred checkpoint replaces all bookkeeping: execution history
+     below [upto] is no longer locally known, so the dedup tables restart
+     (the auditor re-baselines on [snapshot_gen]). *)
+  Hashtbl.reset t.exec_counts;
+  Hashtbl.reset t.keys_by_seqno;
+  t.stable <- max t.stable upto;
+  t.snapshot_gen <- t.snapshot_gen + 1;
   (match t.store with
   | Some store when rows <> [] -> Kv_store.load_rows store rows
   | Some _ | None -> ());
@@ -213,3 +271,7 @@ let chain t = t.chain
 let executed_count t = t.executed_count
 
 let executed_digests t = List.rev t.executed
+
+let stable_seqno t = t.stable
+let snapshot_generation t = t.snapshot_gen
+let duplicate_executions t = t.dup_execs

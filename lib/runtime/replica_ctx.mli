@@ -11,7 +11,9 @@
 type behavior =
   | Honest
   | Silent
-      (** crashed / muted: sends are suppressed (fail-stop) *)
+      (** byzantine-mute: all sends are suppressed (votes, checkpoints,
+          responses) while the replica keeps receiving and executing;
+          unlike {!kill} it can later flip back to [Honest] *)
   | Equivocate
       (** byzantine primary: proposes different batches to different
           replicas (Example 3, case 1) *)
@@ -137,3 +139,23 @@ val executed_digests : t -> (int * string) list
 (** [(seqno, batch_digest)] of currently-executed (non-rolled-back)
     batches, oldest first; tracked in both modes, used by tests to check
     agreement across replicas. *)
+
+(** {1 Audit observables}
+
+    Sampled by the chaos safety auditor (and usable by any test) to check
+    invariants mid-run. All three are tracked in both materialized and
+    cost-only modes. *)
+
+val stable_seqno : t -> int
+(** Highest stable checkpoint this replica has installed ([-1] initially).
+    Never decreases; entries at or below it must never change. *)
+
+val snapshot_generation : t -> int
+(** Incremented whenever a transferred checkpoint replaces the local
+    bookkeeping — the auditor re-baselines its frozen prefix then, since
+    history below the snapshot is legitimately gone. *)
+
+val duplicate_executions : t -> int
+(** Latched count of at-most-once violations observed on this replica: a
+    request key that was executed while a previous live (non-rolled-back)
+    execution of the same key existed. Always 0 on a correct protocol. *)

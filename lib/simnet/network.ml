@@ -3,12 +3,17 @@ type 'msg t = {
   n_nodes : int;
   latency : Latency.t;
   bandwidth : float option;
-  loss_probability : float;
+  mutable loss_probability : float;
+  mutable latency_factor : float;
   rng : Rng.t;
   handlers : (src:int -> bytes:int -> 'msg -> unit) option array;
   crashed : bool array;
   nic_free_at : float array;   (* when each node's outgoing NIC frees up *)
   blocked : (int * int, unit) Hashtbl.t;
+  link_loss : (int * int, float) Hashtbl.t;
+      (* per-link loss overrides; when set they win over [loss_probability] *)
+  link_delay : (int * int, float) Hashtbl.t;
+      (* extra one-way delay added on specific links *)
   mutable sent_messages : int;
   mutable sent_bytes : int;
   mutable dropped_messages : int;
@@ -23,11 +28,14 @@ let create ~engine ~n_nodes ~latency ?(bandwidth_bytes_per_s = None)
     latency;
     bandwidth = bandwidth_bytes_per_s;
     loss_probability;
+    latency_factor = 1.0;
     rng = Rng.split (Engine.rng engine);
     handlers = Array.make n_nodes None;
     crashed = Array.make n_nodes false;
     nic_free_at = Array.make n_nodes 0.0;
     blocked = Hashtbl.create 16;
+    link_loss = Hashtbl.create 16;
+    link_delay = Hashtbl.create 16;
     sent_messages = 0;
     sent_bytes = 0;
     dropped_messages = 0;
@@ -72,14 +80,33 @@ let deliver t ~src ~dst ~bytes msg =
             "deliver";
         handler ~src ~bytes msg
 
+(* Effective loss on one link: the per-link override when present (chaos
+   schedules and bursty-loss channels install these), else the global
+   probability. The length check keeps the no-override common case at one
+   branch with no hashing. *)
+let loss_on t ~src ~dst =
+  if Hashtbl.length t.link_loss = 0 then t.loss_probability
+  else
+    match Hashtbl.find_opt t.link_loss (src, dst) with
+    | Some p -> p
+    | None -> t.loss_probability
+
+let extra_delay_on t ~src ~dst =
+  if Hashtbl.length t.link_delay = 0 then 0.0
+  else
+    match Hashtbl.find_opt t.link_delay (src, dst) with
+    | Some d -> d
+    | None -> 0.0
+
 let send t ~src ~dst ~bytes msg =
   check_node t src;
   check_node t dst;
+  let loss = loss_on t ~src ~dst in
   if t.crashed.(src) || Hashtbl.mem t.blocked (src, dst) then begin
     t.dropped_messages <- t.dropped_messages + 1;
     trace_drop t ~src ~dst ~bytes
   end
-  else if t.loss_probability > 0.0 && Rng.bool t.rng ~p:t.loss_probability then begin
+  else if loss > 0.0 && Rng.bool t.rng ~p:loss then begin
     t.sent_messages <- t.sent_messages + 1;
     t.sent_bytes <- t.sent_bytes + bytes;
     t.dropped_messages <- t.dropped_messages + 1;
@@ -107,7 +134,11 @@ let send t ~src ~dst ~bytes msg =
           t.nic_free_at.(src) <- finish;
           finish
     in
-    let arrival = departure +. Latency.sample t.latency t.rng in
+    let arrival =
+      departure
+      +. (Latency.sample t.latency t.rng *. t.latency_factor)
+      +. extra_delay_on t ~src ~dst
+    in
     ignore
       (Engine.schedule t.engine ~delay:(arrival -. now) (fun () ->
            deliver t ~src ~dst ~bytes msg))
@@ -130,6 +161,34 @@ let block_link t ~src ~dst = Hashtbl.replace t.blocked (src, dst) ()
 let unblock_link t ~src ~dst = Hashtbl.remove t.blocked (src, dst)
 
 let heal_partitions t = Hashtbl.reset t.blocked
+
+let set_loss t p =
+  if p < 0.0 || p >= 1.0 then invalid_arg "Network.set_loss";
+  t.loss_probability <- p
+
+let loss t = t.loss_probability
+
+let set_link_loss t ~src ~dst = function
+  | Some p ->
+      if p < 0.0 || p >= 1.0 then invalid_arg "Network.set_link_loss";
+      Hashtbl.replace t.link_loss (src, dst) p
+  | None -> Hashtbl.remove t.link_loss (src, dst)
+
+let set_latency_factor t f =
+  if f <= 0.0 then invalid_arg "Network.set_latency_factor";
+  t.latency_factor <- f
+
+let latency_factor t = t.latency_factor
+
+let set_link_delay t ~src ~dst = function
+  | Some d ->
+      if d < 0.0 then invalid_arg "Network.set_link_delay";
+      Hashtbl.replace t.link_delay (src, dst) d
+  | None -> Hashtbl.remove t.link_delay (src, dst)
+
+let clear_link_overrides t =
+  Hashtbl.reset t.link_loss;
+  Hashtbl.reset t.link_delay
 
 let sent_messages t = t.sent_messages
 let sent_bytes t = t.sent_bytes

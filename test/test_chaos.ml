@@ -1,0 +1,274 @@
+(* Chaos-engine integration tests: seeded schedule generation is
+   deterministic and budget-disciplined, every protocol survives seeded
+   fault schedules with the mid-run safety auditor attached, and a
+   deliberately broken protocol is caught the moment it diverges and its
+   failing schedule shrinks to a minimal reproducer. *)
+
+module R = Poe_runtime
+module Config = R.Config
+module Ctx = R.Replica_ctx
+module Exec = R.Exec_engine
+module Message = R.Message
+module Block = Poe_ledger.Block
+module Schedule = Poe_chaos.Schedule
+module Generator = Poe_chaos.Generator
+module Auditor = Poe_chaos.Auditor
+module Runner = Poe_chaos.Runner
+
+(* ------------------------------------------------------------------ *)
+(* Generator: determinism and structure                                *)
+
+let test_generator_deterministic () =
+  let gen () =
+    Generator.generate ~seed:314 ~n:7 ~byzantine:true ~horizon:2.0 ()
+  in
+  Alcotest.(check string)
+    "same seed, byte-identical schedule"
+    (Schedule.to_string (gen ()))
+    (Schedule.to_string (gen ()));
+  let other =
+    Generator.generate ~seed:315 ~n:7 ~byzantine:true ~horizon:2.0 ()
+  in
+  Alcotest.(check bool)
+    "different seed, different schedule" true
+    (Schedule.to_string (gen ()) <> Schedule.to_string other)
+
+let test_generator_valid_and_gated () =
+  List.iter
+    (fun seed ->
+      let s = Generator.generate ~seed ~n:4 ~byzantine:false ~horizon:2.0 () in
+      (match Schedule.validate ~n:4 s with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "seed %d: invalid schedule: %s" seed e);
+      List.iter
+        (fun { Schedule.action; _ } ->
+          match action with
+          | Schedule.Set_byzantine _ ->
+              Alcotest.failf "seed %d: byzantine flip despite gating" seed
+          | _ -> ())
+        s)
+    [ 1; 2; 3; 4; 5 ]
+
+let test_byzantine_ok_gating () =
+  Alcotest.(check bool) "poe" true (Generator.byzantine_ok ~protocol:"poe");
+  Alcotest.(check bool) "pbft" true (Generator.byzantine_ok ~protocol:"pbft");
+  Alcotest.(check bool)
+    "hotstuff" true
+    (Generator.byzantine_ok ~protocol:"hotstuff");
+  (* No replica-driven view change: a byzantine primary stalls them. *)
+  Alcotest.(check bool) "sbft" false (Generator.byzantine_ok ~protocol:"sbft");
+  Alcotest.(check bool)
+    "zyzzyva" false
+    (Generator.byzantine_ok ~protocol:"zyzzyva")
+
+(* ------------------------------------------------------------------ *)
+(* Seeded sweeps: every protocol under generated chaos                 *)
+
+let sweep (module P : R.Protocol_intf.S) seeds =
+  let test () =
+    let module Ch = Runner.Make (P) in
+    List.iter
+      (fun seed ->
+        let o = Ch.run_seed ~seed ~horizon:1.0 ~drain:0.8 () in
+        (match o.Ch.violation with
+        | None -> ()
+        | Some v ->
+            Alcotest.failf "seed %d: %s@\nschedule:@\n%s" seed
+              (Format.asprintf "%a" Auditor.pp_violation v)
+              (Schedule.to_string o.Ch.schedule));
+        Alcotest.(check bool)
+          (Printf.sprintf "seed %d audited" seed)
+          true (o.Ch.samples > 0))
+      seeds
+  in
+  Alcotest.test_case (P.name ^ " chaos sweep") `Slow test
+
+let test_replay_determinism () =
+  let module Ch = Runner.Make (Poe_core.Poe_protocol) in
+  let once () = Ch.run_seed ~seed:7922 ~horizon:1.0 ~drain:0.6 () in
+  let a = once () and b = once () in
+  Alcotest.(check string)
+    "schedules identical"
+    (Schedule.to_string a.Ch.schedule)
+    (Schedule.to_string b.Ch.schedule);
+  Alcotest.(check bool)
+    "verdicts identical" true
+    (a.Ch.violation = b.Ch.violation);
+  Alcotest.(check int) "same completions" a.Ch.completed b.Ch.completed;
+  Alcotest.(check int) "same sample count" a.Ch.samples b.Ch.samples
+
+(* ------------------------------------------------------------------ *)
+(* A deliberately broken protocol: caught mid-run, then minimized      *)
+
+(* "Broken consensus": the primary assigns sequence numbers and every
+   replica executes whatever it is told, with no votes and no quorum.
+   Under honest behavior this happens to agree; the moment the primary
+   equivocates, the halves diverge — which the auditor must catch at the
+   next sample, and the minimizer must pin on the single byzantine flip
+   among the decoy faults. *)
+type Message.t += Bk_propose of { seqno : int; batch : Message.batch }
+
+module Broken = struct
+  let name = "broken"
+
+  type replica = {
+    ctx : Ctx.t;
+    exec : Exec.t;
+    proposed : (int, unit) Hashtbl.t;
+    mutable next_seqno : int;
+  }
+
+  let create_replica ctx =
+    {
+      ctx;
+      exec = Exec.create ~ctx ();
+      proposed = Hashtbl.create 256;
+      next_seqno = 0;
+    }
+
+  let start_replica _ = ()
+  let proof = Block.Vote_certificate []
+
+  let propose t (req : Message.request) =
+    let key = Message.request_key req in
+    if not (Hashtbl.mem t.proposed key) then begin
+      Hashtbl.replace t.proposed key ();
+      let seqno = t.next_seqno in
+      t.next_seqno <- seqno + 1;
+      let cfg = Ctx.config t.ctx in
+      let batch =
+        Message.batch_of_requests ~materialize:cfg.Config.materialize [ req ]
+      in
+      let bytes = Message.Wire.propose cfg in
+      (match Ctx.behavior t.ctx with
+      | Ctx.Equivocate ->
+          let others =
+            List.init cfg.Config.n Fun.id
+            |> List.filter (fun i -> i <> Ctx.id t.ctx)
+          in
+          let half = List.length others / 2 in
+          let left = List.filteri (fun i _ -> i < half) others in
+          let right = List.filteri (fun i _ -> i >= half) others in
+          let forged =
+            { batch with Message.digest = batch.Message.digest ^ "!forged" }
+          in
+          Ctx.broadcast_to t.ctx ~dsts:left ~bytes (Bk_propose { seqno; batch });
+          Ctx.broadcast_to t.ctx ~dsts:right ~bytes
+            (Bk_propose { seqno; batch = forged })
+      | _ ->
+          Ctx.broadcast_replicas t.ctx ~bytes (Bk_propose { seqno; batch }));
+      Exec.offer t.exec ~seqno ~view:0 ~batch ~proof
+    end
+
+  let on_message t ~src:_ msg =
+    match msg with
+    | Bk_propose { seqno; batch } ->
+        Exec.offer t.exec ~seqno ~view:0 ~batch ~proof
+    | Message.Client_request req | Message.Client_forward req ->
+        if Ctx.id t.ctx = 0 then propose t req
+    | Message.Client_request_bundle reqs ->
+        if Ctx.id t.ctx = 0 then List.iter (propose t) reqs
+    | _ -> ()
+
+  let receive_cost ~src cfg (cost : R.Cost.t) msg =
+    match R.Protocol_intf.client_receive_cost ~src cfg cost msg with
+    | Some c -> c
+    | None -> cost.R.Cost.msg_in +. cost.R.Cost.mac_verify
+
+  let hub_hooks _ =
+    {
+      R.Hub_core.quorum = 1;
+      send_mode = R.Hub_core.To_primary;
+      on_timeout = None;
+      on_message = None;
+    }
+
+  let current_view _ = 0
+  let ctx t = t.ctx
+end
+
+(* One byzantine flip hidden among decoy faults the minimizer must
+   discard. Times chosen so the flip is live well before the decoys
+   overlap it. *)
+let broken_schedule =
+  Schedule.sort
+    [
+      { Schedule.at = 0.25; action = Schedule.Block_link { src = 3; dst = 2 } };
+      {
+        Schedule.at = 0.30;
+        action = Schedule.Set_byzantine { replica = 0; byz = Schedule.Equivocate };
+      };
+      {
+        Schedule.at = 0.45;
+        action = Schedule.Latency_surge { factor = 2.0; until = 0.6 };
+      };
+      { Schedule.at = 0.55; action = Schedule.Unblock_link { src = 3; dst = 2 } };
+      { Schedule.at = 0.70; action = Schedule.Restore_honest 0 };
+      { Schedule.at = 0.75; action = Schedule.Crash 2 };
+      { Schedule.at = 0.90; action = Schedule.Recover 2 };
+    ]
+
+let test_broken_protocol_caught_and_minimized () =
+  let module Ch = Runner.Make (Broken) in
+  let params = Ch.default_params ~seed:1 ~n:4 in
+  let o = Ch.run ~horizon:1.2 ~drain:0.6 ~params ~schedule:broken_schedule () in
+  match o.Ch.violation with
+  | None -> Alcotest.fail "equivocating primary not caught"
+  | Some v ->
+      Alcotest.(check string) "invariant" "prefix-agreement" v.Auditor.invariant;
+      (* Caught mid-run: within a couple of sample intervals of the flip,
+         long before the run (and its decoy faults) finished. *)
+      Alcotest.(check bool)
+        (Printf.sprintf "caught promptly (t=%.2f)" v.Auditor.at)
+        true
+        (v.Auditor.at < 0.7);
+      let minimal, oracle_runs =
+        Ch.minimize ~horizon:1.2 ~drain:0.6 ~params ~schedule:broken_schedule
+          ~violation_at:v.Auditor.at ()
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "minimized to %d action(s) in %d runs"
+           (List.length minimal) oracle_runs)
+        true
+        (List.length minimal <= 5);
+      (* The byzantine flip itself can never be shrunk away. *)
+      Alcotest.(check bool)
+        "flip survives minimization" true
+        (List.exists
+           (fun { Schedule.action; _ } ->
+             match action with
+             | Schedule.Set_byzantine { replica = 0; _ } -> true
+             | _ -> false)
+           minimal);
+      (* The minimal schedule still reproduces. *)
+      let o' = Ch.run ~horizon:1.2 ~drain:0.6 ~params ~schedule:minimal () in
+      Alcotest.(check bool) "minimal schedule reproduces" true
+        (o'.Ch.violation <> None)
+
+let () =
+  Alcotest.run "chaos"
+    [
+      ( "generator",
+        [
+          Alcotest.test_case "deterministic by seed" `Quick
+            test_generator_deterministic;
+          Alcotest.test_case "valid and byzantine-gated" `Quick
+            test_generator_valid_and_gated;
+          Alcotest.test_case "byzantine_ok per protocol" `Quick
+            test_byzantine_ok_gating;
+        ] );
+      ( "sweeps",
+        [
+          sweep (module Poe_core.Poe_protocol) [ 11; 12 ];
+          sweep (module Poe_pbft.Pbft_protocol) [ 21; 22 ];
+          sweep (module Poe_zyzzyva.Zyzzyva_protocol) [ 31; 32 ];
+          sweep (module Poe_sbft.Sbft_protocol) [ 41; 42 ];
+          sweep (module Poe_hotstuff.Hotstuff_protocol) [ 51; 52 ];
+          Alcotest.test_case "replay determinism" `Slow test_replay_determinism;
+        ] );
+      ( "broken-protocol",
+        [
+          Alcotest.test_case "caught mid-run and minimized" `Quick
+            test_broken_protocol_caught_and_minimized;
+        ] );
+    ]

@@ -135,6 +135,37 @@ let test_snapshot_catchup_across_checkpoint_gc () =
 (* ------------------------------------------------------------------ *)
 (* The same faults against the baselines (safety only)                 *)
 
+(* ------------------------------------------------------------------ *)
+(* Byzantine flips mid-run: the baselines must stay safe while replica
+   0 (PBFT's primary; HotStuff's every-fourth leader) equivocates or
+   keeps a backup in the dark, and recover liveness once it turns honest
+   again. An equivocated slot can never gather a full quorum on either
+   digest, so the protocols must route around it (view change /
+   pacemaker skip) without ever diverging. *)
+
+let byzantine_safety (module X : R.Protocol_intf.S) name ?(scheme = Config.Auth_mac)
+    behavior label =
+  let test () =
+    let module CC = Cluster.Make (X) in
+    let cfg = config ~scheme () in
+    let c =
+      CC.build
+        { (Cluster.default_params ~config:cfg) with warmup = 0.4; measure = 4.0 }
+    in
+    ignore
+      (Engine.schedule c.CC.engine ~delay:1.0 (fun () ->
+           CC.set_behavior c 0 behavior));
+    ignore
+      (Engine.schedule c.CC.engine ~delay:2.2 (fun () ->
+           CC.set_behavior c 0 Ctx.Honest));
+    CC.run c;
+    Alcotest.(check bool) "committed prefixes agree" true
+      (CC.committed_prefix_agrees c);
+    Alcotest.(check bool) "progress despite byzantine replica" true
+      (Stats.completed_total c.CC.stats > 10)
+  in
+  Alcotest.test_case (name ^ " " ^ label) `Slow test
+
 let baseline_safety (module X : R.Protocol_intf.S) name =
   let test () =
     let module CC = Cluster.Make (X) in
@@ -181,5 +212,25 @@ let () =
           baseline_safety (module Poe_pbft.Pbft_protocol) "pbft";
           baseline_safety (module Poe_sbft.Sbft_protocol) "sbft";
           baseline_safety (module Poe_hotstuff.Hotstuff_protocol) "hotstuff";
+        ] );
+      ( "byzantine",
+        [
+          byzantine_safety
+            (module Poe_pbft.Pbft_protocol)
+            "pbft" Ctx.Equivocate "equivocating primary";
+          byzantine_safety
+            (module Poe_pbft.Pbft_protocol)
+            "pbft"
+            (Ctx.Keep_in_dark [ 1 ])
+            "primary keeps backup dark";
+          byzantine_safety
+            (module Poe_hotstuff.Hotstuff_protocol)
+            "hotstuff" ~scheme:Config.Auth_threshold Ctx.Equivocate
+            "equivocating leader";
+          byzantine_safety
+            (module Poe_hotstuff.Hotstuff_protocol)
+            "hotstuff" ~scheme:Config.Auth_threshold
+            (Ctx.Keep_in_dark [ 1 ])
+            "leader keeps backup dark";
         ] );
     ]

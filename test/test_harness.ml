@@ -97,7 +97,12 @@ let test_fig9_direction_nofail () =
     (poe >= 0.95 *. pbft);
   Alcotest.(check bool)
     (Printf.sprintf "poe (%.0f) >> hotstuff (%.0f)" poe hs)
-    true (poe > 3.0 *. hs)
+    (* 1.5x, not more: HotStuff used to trail further because its rotating
+       leader double-executed requests of committed-but-not-yet-applied
+       blocks, wasting slots; with that fixed its honest throughput at
+       this scale is within ~2x of PoE. *)
+    true
+    (poe > 1.5 *. hs)
 
 let test_fig9_direction_failure () =
   (* n=16, one crashed backup: the twin-path protocols collapse below PoE
