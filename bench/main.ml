@@ -11,11 +11,17 @@
       delay simulation). Expected-vs-measured commentary lives in
       EXPERIMENTS.md.
 
+   Every figure section also lands as a machine-readable BENCH_<fig>.json
+   next to the text output, and a traced mini-run per protocol produces
+   BENCH_phases.json with the per-phase latency breakdown (schema shared
+   with `poe_sim analyze --json`).
+
    Environment knobs:
      BENCH_SCALE      - multiplies the simulated measurement window (default 1)
      BENCH_QUICK      - if set, restricts replica counts and batch sweeps so
                         the whole run finishes in a couple of minutes
-     BENCH_SKIP_MICRO - if set, skip the Bechamel section. *)
+     BENCH_SKIP_MICRO - if set, skip the Bechamel section
+     BENCH_JSON_DIR   - directory for the BENCH_*.json files (default "."). *)
 
 module E = Poe_harness.Experiments
 module Sha256 = Poe_crypto.Sha256
@@ -98,11 +104,47 @@ let microbenchmarks () =
   Printf.printf "\n%!"
 
 (* ------------------------------------------------------------------ *)
-(* Part 2: figure regeneration                                         *)
+(* Machine-readable output: BENCH_<fig>.json per series                *)
+
+module An = Poe_analysis
+module Trace = Poe_obs.Trace
 
 let fmt = Format.std_formatter
-
 let section title = Format.fprintf fmt "---- %s ----@.@." title
+
+let json_dir =
+  match Sys.getenv_opt "BENCH_JSON_DIR" with Some d -> d | None -> "."
+
+let jstr s =
+  let b = Buffer.create (String.length s + 2) in
+  Trace.escape_json b s;
+  Buffer.contents b
+
+let series_json (s : E.series) =
+  let buf = Buffer.create 1024 in
+  Printf.bprintf buf "{\"figure\":%s,\"title\":%s,\"x_label\":%s,\"points\":["
+    (jstr s.E.figure) (jstr s.E.title) (jstr s.E.x_label);
+  List.iteri
+    (fun i (p : E.point) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Printf.bprintf buf
+        "{\"protocol\":%s,\"x\":%.6f,\"throughput\":%.6f,\"latency\":%.6f,\
+         \"decisions\":%.6f,\"messages_per_decision\":%.6f,\
+         \"bytes_per_decision\":%.6f}"
+        (jstr p.E.protocol) p.E.x p.E.throughput p.E.latency p.E.decisions
+        p.E.messages_per_decision p.E.bytes_per_decision)
+    s.E.points;
+  Buffer.add_string buf "]}\n";
+  Buffer.contents buf
+
+let emit (s : E.series) =
+  let path = Filename.concat json_dir ("BENCH_" ^ s.E.figure ^ ".json") in
+  An.Report.write_string path (series_json s);
+  Format.fprintf fmt "[%s]@.@." path
+
+let show series =
+  E.print_series fmt series;
+  emit series
 
 let fig1 () =
   section "Fig. 1 (table): consensus cost per decision";
@@ -111,33 +153,29 @@ let fig1 () =
      phases O(3n); pbft 3 phases O(n+2n^2); sbft 5 linear phases O(5n);@.\
      hotstuff chained TS rounds. Measured traffic also includes client@.\
      requests, responses and checkpoints:@.@.";
-  E.print_series fmt (E.fig1_message_census ~scale ())
+  show (E.fig1_message_census ~scale ())
 
 let fig7 () =
   section "Fig. 7: upper bound without consensus";
-  E.print_series fmt (E.fig7_upper_bound ~scale ())
+  show (E.fig7_upper_bound ~scale ())
 
 let fig8 () =
   section "Fig. 8: signature schemes (PBFT, n=16)";
-  E.print_series fmt (E.fig8_signatures ~scale ())
+  show (E.fig8_signatures ~scale ())
 
 let fig9 () =
   section "Fig. 9(a,b): scalability, standard payload, single backup failure";
-  E.print_series fmt
-    (E.fig9_scalability ~scale ~clients_per_hub ~ns E.Standard_failure);
+  show (E.fig9_scalability ~scale ~clients_per_hub ~ns E.Standard_failure);
   section "Fig. 9(c,d): scalability, standard payload, no failures";
-  E.print_series fmt
-    (E.fig9_scalability ~scale ~clients_per_hub ~ns E.Standard_nofail);
+  show (E.fig9_scalability ~scale ~clients_per_hub ~ns E.Standard_nofail);
   section "Fig. 9(e,f): zero payload, single backup failure";
-  E.print_series fmt
-    (E.fig9_scalability ~scale ~clients_per_hub ~ns E.Zero_failure);
+  show (E.fig9_scalability ~scale ~clients_per_hub ~ns E.Zero_failure);
   section "Fig. 9(g,h): zero payload, no failures";
-  E.print_series fmt
-    (E.fig9_scalability ~scale ~clients_per_hub ~ns E.Zero_nofail);
+  show (E.fig9_scalability ~scale ~clients_per_hub ~ns E.Zero_nofail);
   section "Fig. 9(i,j): batching under a single backup failure (n=32)";
-  E.print_series fmt (E.fig9_batching ~scale ~clients_per_hub ~batch_sizes ());
+  show (E.fig9_batching ~scale ~clients_per_hub ~batch_sizes ());
   section "Fig. 9(k,l): out-of-order processing disabled";
-  E.print_series fmt (E.fig9_no_ooo ~scale ~ns ())
+  show (E.fig9_no_ooo ~scale ~ns ())
 
 let fig10 () =
   section "Fig. 10: throughput timeline across a primary crash (n=32)";
@@ -149,13 +187,77 @@ let fig10 () =
         (fun (t, rate) -> Format.fprintf fmt "  t=%5.2fs  %10.0f txn/s@." t rate)
         series;
       Format.fprintf fmt "@.")
-    timelines
+    timelines;
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\"figure\":\"fig10\",\"timelines\":[";
+  List.iteri
+    (fun i (name, series) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Printf.bprintf buf "{\"protocol\":%s,\"points\":[" (jstr name);
+      List.iteri
+        (fun j (t, rate) ->
+          if j > 0 then Buffer.add_char buf ',';
+          Printf.bprintf buf "{\"t\":%.6f,\"txns_per_s\":%.6f}" t rate)
+        series;
+      Buffer.add_string buf "]}")
+    timelines;
+  Buffer.add_string buf "]}\n";
+  let path = Filename.concat json_dir "BENCH_fig10.json" in
+  An.Report.write_string path (Buffer.contents buf);
+  Format.fprintf fmt "[%s]@.@." path
 
 let fig11 () =
   section "Fig. 11: simulated decisions vs message delay (sequential)";
-  E.print_series fmt (E.fig11_simulation ~ns:fig11_ns ());
+  show (E.fig11_simulation ~ns:fig11_ns ());
   section "Fig. 11 (right): with out-of-order processing, window 250";
-  E.print_series fmt (E.fig11_simulation ~out_of_order:true ~ns:fig11_ns ())
+  show { (E.fig11_simulation ~out_of_order:true ~ns:fig11_ns ()) with
+         E.figure = "fig11_ooo" }
+
+(* ------------------------------------------------------------------ *)
+(* Per-phase latency breakdown: one traced mini-run per protocol       *)
+
+let phase_breakdowns () =
+  section "per-phase latency breakdown (traced mini-run per protocol)";
+  let module Config = Poe_runtime.Config in
+  let module Cl = Poe_harness.Cluster in
+  let run_one (p : E.protocol) =
+    let (module P : Poe_runtime.Protocol_intf.S) =
+      match p with
+      | E.Poe -> (module Poe_core.Poe_protocol)
+      | E.Pbft -> (module Poe_pbft.Pbft_protocol)
+      | E.Zyzzyva -> (module Poe_zyzzyva.Zyzzyva_protocol)
+      | E.Sbft -> (module Poe_sbft.Sbft_protocol)
+      | E.Hotstuff -> (module Poe_hotstuff.Hotstuff_protocol)
+    in
+    let scheme =
+      match p with
+      | E.Poe | E.Pbft | E.Zyzzyva -> Config.Auth_mac
+      | E.Sbft | E.Hotstuff -> Config.Auth_threshold
+    in
+    let config =
+      Config.make ~n:4 ~batch_size:100 ~payload:Config.Standard
+        ~replica_scheme:scheme ~out_of_order:true ~clients_per_hub:100
+        ~request_timeout:0.5 ~seed:1 ()
+    in
+    let module C = Cl.Make (P) in
+    let params =
+      { (Cl.default_params ~config) with warmup = 0.2; measure = 0.4 *. scale }
+    in
+    let breakdowns = ref [] in
+    E.instrumented
+      ~on_trace:(fun tr ->
+        let life = An.Slot_life.reconstruct (Trace.events tr) in
+        breakdowns := An.Attribution.of_result life)
+      (fun () ->
+        let c = C.build params in
+        C.run c);
+    !breakdowns
+  in
+  let breakdowns = List.concat_map run_one E.all_protocols in
+  print_string (An.Report.breakdowns_to_string breakdowns);
+  let path = Filename.concat json_dir "BENCH_phases.json" in
+  An.Report.write_string path (An.Report.breakdowns_json breakdowns);
+  Format.fprintf fmt "[%s]@.@." path
 
 let () =
   Printf.printf
@@ -163,6 +265,7 @@ let () =
     scale
     (if quick then ", quick" else "");
   if Sys.getenv_opt "BENCH_SKIP_MICRO" = None then microbenchmarks ();
+  phase_breakdowns ();
   fig1 ();
   fig7 ();
   fig8 ();

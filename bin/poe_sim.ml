@@ -4,6 +4,9 @@
        simulate one deployment and report throughput/latency
    poe-sim chaos --protocol pbft --seed 7 --rounds 50 --minimize
        seeded fault-schedule fuzzing with the mid-run safety auditor
+   poe-sim analyze trace.jsonl
+       reconstruct slot lifecycles and the per-phase latency breakdown
+       from an exported trace
    poe-sim experiment fig9ab ...
        regenerate one of the paper's figures
    poe-sim list
@@ -13,6 +16,7 @@ module R = Poe_runtime
 module E = Poe_harness.Experiments
 module Cluster = Poe_harness.Cluster
 module Config = R.Config
+module An = Poe_analysis
 open Cmdliner
 
 let protocol_conv =
@@ -118,12 +122,23 @@ let metrics_flag =
           "Collect counters, latency histograms and lane-utilization samples \
            during the run and print a summary afterwards.")
 
+let report_file =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "report" ] ~docv:"FILE"
+        ~doc:
+          "Write an analysis report of the run to $(docv): the per-phase \
+           latency breakdown for $(b,run), the forensic violation \
+           report(s) for $(b,chaos). Implies in-memory tracing even \
+           without $(b,--trace).")
+
 let obs_args trace_file trace_format =
   Option.map (fun path -> (trace_format, path)) trace_file
 
 let run_cmd =
   let run protocol n batch_size clients zero crash_backup crash_primary_at
-      no_ooo duration seed trace_file trace_format metrics =
+      no_ooo duration seed trace_file trace_format metrics report =
     let (module P : R.Protocol_intf.S) =
       match protocol with
       | E.Poe -> (module Poe_core.Poe_protocol)
@@ -149,13 +164,23 @@ let run_cmd =
     let params =
       { (Cluster.default_params ~config) with warmup = 0.6; measure = duration }
     in
+    let on_trace =
+      Option.map
+        (fun path tr ->
+          let life = An.Slot_life.reconstruct (Poe_obs.Trace.events tr) in
+          let breakdowns = An.Attribution.of_result life in
+          An.Report.write_string path
+            (An.Report.breakdowns_to_string breakdowns);
+          Format.printf "analysis report -> %s@." path)
+        report
+    in
     let c =
       E.instrumented
         ~node_name:(fun id ->
           if id < n then Printf.sprintf "replica %d" id
           else Printf.sprintf "hub %d" (id - n))
         ?trace:(obs_args trace_file trace_format)
-        ~metrics
+        ~metrics ?on_trace
         (fun () ->
           let c = C.build params in
           if crash_backup then C.crash_replica c (n - 1) ~at:0.05;
@@ -186,7 +211,7 @@ let run_cmd =
     Term.(
       const run $ protocol $ replicas $ batch_size $ clients $ zero_payload
       $ crash_backup $ crash_primary_at $ no_ooo $ duration $ seed $ trace_file
-      $ trace_format $ metrics_flag)
+      $ trace_format $ metrics_flag $ report_file)
 
 (* ------------------------------------------------------------------ *)
 (* poe_sim chaos                                                       *)
@@ -212,7 +237,8 @@ let minimize_flag =
            minimal reproducer before reporting it.")
 
 let chaos_cmd =
-  let run protocol seed rounds n minimize trace_file trace_format metrics =
+  let run protocol seed rounds n minimize trace_file trace_format metrics
+      report =
     let (module P : R.Protocol_intf.S) =
       match protocol with
       | E.Poe -> (module Poe_core.Poe_protocol)
@@ -222,10 +248,26 @@ let chaos_cmd =
       | E.Hotstuff -> (module Poe_hotstuff.Hotstuff_protocol)
     in
     let module Ch = Poe_chaos.Runner.Make (P) in
+    (* Forensic reports accumulate here across rounds; --report writes
+       them out at the end (and forces a trace sink so the runner can
+       produce them even without --trace). *)
+    let forensic_log = Buffer.create 1024 in
+    let on_trace =
+      Option.map
+        (fun path (_ : Poe_obs.Trace.t) ->
+          let content =
+            if Buffer.length forensic_log = 0 then
+              "no safety violations: no forensic report\n"
+            else Buffer.contents forensic_log
+          in
+          An.Report.write_string path content;
+          Format.printf "forensic report -> %s@." path)
+        report
+    in
     let violations =
       E.instrumented
         ?trace:(obs_args trace_file trace_format)
-        ~metrics
+        ~metrics ?on_trace
         (fun () ->
           let violations = ref 0 in
           for i = 0 to rounds - 1 do
@@ -246,6 +288,14 @@ let chaos_cmd =
                 incr violations;
                 Format.printf "round %d seed %d: VIOLATION %a@." i round_seed
                   Poe_chaos.Auditor.pp_violation v;
+                (match outcome.Ch.forensics with
+                | Some f ->
+                    let text = An.Report.forensics_to_string f in
+                    Buffer.add_string forensic_log
+                      (Printf.sprintf "round %d seed %d\n%s\n" i round_seed
+                         text);
+                    print_string text
+                | None -> ());
                 if minimize then begin
                   let params = Ch.default_params ~seed:round_seed ~n in
                   let minimal, oracle_runs =
@@ -270,10 +320,78 @@ let chaos_cmd =
        ~doc:
          "Run seeded fault schedules (crashes, partitions, bursty loss, \
           latency surges, byzantine flips) against a protocol with a \
-          mid-run safety auditor.")
+          mid-run safety auditor. With $(b,--trace) or $(b,--report), a \
+          violation additionally produces a forensic report: implicated \
+          slots, divergence point, fault intersection and the causal \
+          timeline across replicas.")
     Term.(
       const run $ protocol $ seed $ chaos_rounds $ chaos_n $ minimize_flag
-      $ trace_file $ trace_format $ metrics_flag)
+      $ trace_file $ trace_format $ metrics_flag $ report_file)
+
+(* ------------------------------------------------------------------ *)
+(* poe_sim analyze                                                     *)
+
+let analyze_cmd =
+  let trace_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"TRACE" ~doc:"JSONL trace exported with $(b,--trace).")
+  in
+  let json_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Also write the breakdown as JSON to $(docv).")
+  in
+  let slot_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "slot" ] ~docv:"SEQNO"
+          ~doc:
+            "Print the causal critical path that bounded slot $(docv) \
+             (use with $(b,--node)).")
+  in
+  let node_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "node" ] ~docv:"REPLICA"
+          ~doc:"Replica whose view of $(b,--slot) to walk (default 0).")
+  in
+  let run trace json slot node =
+    match An.Trace_reader.load_file trace with
+    | Error msg -> `Error (false, Printf.sprintf "%s: %s" trace msg)
+    | Ok events ->
+        let life = An.Slot_life.reconstruct events in
+        let breakdowns = An.Attribution.of_result life in
+        print_string (An.Report.breakdowns_to_string breakdowns);
+        (match json with
+        | Some path ->
+            An.Report.write_string path (An.Report.breakdowns_json breakdowns);
+            Format.printf "json breakdown -> %s@." path
+        | None -> ());
+        (match slot with
+        | Some seqno ->
+            let graph = An.Causal.build events in
+            let path = An.Causal.critical_path graph ~node ~seqno in
+            if path = [] then
+              Format.printf "no events for slot %d on replica %d@." seqno node
+            else print_string (An.Report.path_to_string ~seqno ~node path)
+        | None -> ());
+        `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Reconstruct slot lifecycles from an exported JSONL trace and \
+          print the per-phase latency breakdown (p50/p95/p99 and \
+          critical-path share per consensus phase, plus slot and \
+          client-e2e latencies). $(b,--slot)/$(b,--node) additionally \
+          walk the causal message graph and print the critical path \
+          that bounded one slot.")
+    Term.(ret (const run $ trace_arg $ json_out $ slot_arg $ node_arg))
 
 let experiments : (string * string * (float -> unit)) list =
   let fmt = Format.std_formatter in
@@ -369,7 +487,7 @@ let () =
   match
     Cmd.eval ~catch:false
       (Cmd.group (Cmd.info "poe_sim" ~doc)
-         [ run_cmd; chaos_cmd; experiment_cmd; list_cmd ])
+         [ run_cmd; chaos_cmd; analyze_cmd; experiment_cmd; list_cmd ])
   with
   | code -> exit code
   | exception (Failure msg | Sys_error msg) ->

@@ -6,6 +6,7 @@ type violation = {
   invariant : string;
   replica : int option;
   detail : string;
+  seqnos : int list;
 }
 
 type baseline = {
@@ -43,8 +44,9 @@ let pp_violation ppf v =
     | None -> "")
     v.detail
 
-let flag t ~at ~invariant ?replica detail =
-  if t.violation = None then t.violation <- Some { at; invariant; replica; detail }
+let flag t ~at ~invariant ?replica ?(seqnos = []) detail =
+  if t.violation = None then
+    t.violation <- Some { at; invariant; replica; detail; seqnos }
 
 (* Local invariants apply to every live replica, honest or not, connected
    or not: a replica's own ledger and execution log must stay well-formed
@@ -76,9 +78,11 @@ let check_local t ~now id ctx digests =
       | Some d when String.equal d frozen_digest -> ()
       | Some _ ->
           flag t ~at:now ~invariant:"checkpoint-rollback" ~replica:id
+            ~seqnos:[ seqno ]
             (Printf.sprintf "digest at stable seqno %d rewritten" seqno)
       | None ->
           flag t ~at:now ~invariant:"checkpoint-rollback" ~replica:id
+            ~seqnos:[ seqno ]
             (Printf.sprintf "entry at stable seqno %d disappeared" seqno))
     b.frozen;
   Hashtbl.iter
@@ -114,6 +118,7 @@ let check_agreement t ~now ~certified_only participants =
                   match Hashtbl.find_opt db seqno with
                   | Some d' when not (String.equal digest d') ->
                       flag t ~at:now ~invariant:"prefix-agreement"
+                        ~seqnos:[ seqno ]
                         (Printf.sprintf
                            "replicas %d and %d disagree at seqno %d (%s vs %s)"
                            ia ib seqno (String.sub digest 0 (min 8 (String.length digest)))

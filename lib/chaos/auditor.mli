@@ -33,6 +33,10 @@ type violation = {
           ["checkpoint-rollback"] or ["at-most-once"] *)
   replica : int option;  (** offender, when attributable to one replica *)
   detail : string;
+  seqnos : int list;
+      (** sequence numbers implicated by the check, when it knows them
+          (disagreeing or rewritten slots); input to the forensic
+          explainer *)
 }
 
 type t

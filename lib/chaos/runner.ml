@@ -15,6 +15,9 @@ module Make (P : R.Protocol_intf.S) = struct
   type outcome = {
     schedule : Schedule.t;
     violation : Auditor.violation option;
+    forensics : Poe_analysis.Forensics.t option;
+        (* violation explained from the trace; present only when a sink
+           was installed for the run *)
     completed : int;
     samples : int;
     final_time : float;
@@ -30,9 +33,15 @@ module Make (P : R.Protocol_intf.S) = struct
     in
     { (Cluster.default_params ~config) with warmup = 0.2; measure = 3.0 }
 
+  (* [args] is a thunk so that with tracing disabled no argument list is
+     ever allocated (and no byzantine behavior is ever formatted) — the
+     guard contract from trace.mli. *)
   let tr ~engine ~node name args =
     if Trace.enabled () then
-      Trace.instant ~ts:(Engine.now engine) ~node ~cat:"chaos" ~args name
+      Trace.instant ~ts:(Engine.now engine) ~node ~cat:"chaos" ~args:(args ())
+        name
+
+  let no_args () = []
 
   let behavior_of_byz = function
     | Schedule.Equivocate -> Ctx.Equivocate
@@ -61,24 +70,24 @@ module Make (P : R.Protocol_intf.S) = struct
     let fire () =
       match action with
       | Schedule.Crash r ->
-          tr ~engine ~node:r "chaos_crash" [];
+          tr ~engine ~node:r "chaos_crash" no_args;
           cut r;
           C.pause_replica c r
       | Schedule.Recover r ->
-          tr ~engine ~node:r "chaos_recover" [];
+          tr ~engine ~node:r "chaos_recover" no_args;
           uncut r;
           C.resume_replica c r
       | Schedule.Block_link { src; dst } ->
-          tr ~engine ~node:src "chaos_block_link"
-            [ ("dst", Trace.I dst) ];
+          tr ~engine ~node:src "chaos_block_link" (fun () ->
+              [ ("dst", Trace.I dst) ]);
           Network.block_link net ~src ~dst
       | Schedule.Unblock_link { src; dst } ->
-          tr ~engine ~node:src "chaos_unblock_link"
-            [ ("dst", Trace.I dst) ];
+          tr ~engine ~node:src "chaos_unblock_link" (fun () ->
+              [ ("dst", Trace.I dst) ]);
           Network.unblock_link net ~src ~dst
       | Schedule.Partition group ->
-          tr ~engine ~node:(List.hd group) "chaos_partition"
-            [ ("size", Trace.I (List.length group)) ];
+          tr ~engine ~node:(List.hd group) "chaos_partition" (fun () ->
+              [ ("size", Trace.I (List.length group)) ]);
           let total = Network.n_nodes net in
           List.iter
             (fun a ->
@@ -91,7 +100,7 @@ module Make (P : R.Protocol_intf.S) = struct
               done)
             group
       | Schedule.Heal ->
-          tr ~engine ~node:0 "chaos_heal" [];
+          tr ~engine ~node:0 "chaos_heal" no_args;
           (* Partition membership was the only reason these replicas were
              marked cut off; pauses have their own Recover entries. *)
           for r = 0 to n - 1 do
@@ -99,8 +108,8 @@ module Make (P : R.Protocol_intf.S) = struct
           done;
           Network.heal_partitions net
       | Schedule.Loss_burst { loss_bad; mean_good; mean_bad; until; seed } ->
-          tr ~engine ~node:0 "chaos_loss_burst"
-            [ ("loss_bad", Trace.F loss_bad); ("until", Trace.F until) ];
+          tr ~engine ~node:0 "chaos_loss_burst" (fun () ->
+              [ ("loss_bad", Trace.F loss_bad); ("until", Trace.F until) ]);
           let base = Network.loss net in
           let channel =
             Gilbert.create ~loss_good:base ~loss_bad ~mean_good ~mean_bad ()
@@ -109,7 +118,7 @@ module Make (P : R.Protocol_intf.S) = struct
           let rec step () =
             let now = Engine.now engine in
             if now >= until then begin
-              tr ~engine ~node:0 "chaos_loss_burst_end" [];
+              tr ~engine ~node:0 "chaos_loss_burst_end" no_args;
               Network.set_loss net base
             end
             else begin
@@ -125,22 +134,25 @@ module Make (P : R.Protocol_intf.S) = struct
           in
           step ()
       | Schedule.Latency_surge { factor; until } ->
-          tr ~engine ~node:0 "chaos_latency_surge"
-            [ ("factor", Trace.F factor); ("until", Trace.F until) ];
+          tr ~engine ~node:0 "chaos_latency_surge" (fun () ->
+              [ ("factor", Trace.F factor); ("until", Trace.F until) ]);
           let base = Network.latency_factor net in
           Network.set_latency_factor net (base *. factor);
           ignore
             (Engine.schedule engine
                ~delay:(until -. Engine.now engine)
                (fun () ->
-                 tr ~engine ~node:0 "chaos_latency_surge_end" [];
+                 tr ~engine ~node:0 "chaos_latency_surge_end" no_args;
                  Network.set_latency_factor net base))
       | Schedule.Set_byzantine { replica; byz } ->
-          tr ~engine ~node:replica "chaos_set_byzantine"
-            [ ("behavior", Trace.S (Format.asprintf "%a" Schedule.pp_action action)) ];
+          tr ~engine ~node:replica "chaos_set_byzantine" (fun () ->
+              [
+                ( "behavior",
+                  Trace.S (Format.asprintf "%a" Schedule.pp_action action) );
+              ]);
           C.set_behavior c replica (behavior_of_byz byz)
       | Schedule.Restore_honest r ->
-          tr ~engine ~node:r "chaos_restore_honest" [];
+          tr ~engine ~node:r "chaos_restore_honest" no_args;
           C.set_behavior c r Ctx.Honest
     in
     ignore (Engine.schedule engine ~delay:(at -. Engine.now engine) fire)
@@ -151,6 +163,13 @@ module Make (P : R.Protocol_intf.S) = struct
     | Ok () -> ()
     | Error e -> invalid_arg ("Runner.run: bad schedule: " ^ e));
     let c = C.build params in
+    (* Chaos rounds share one trace ring: remember where this round's
+       events start so forensics analyzes only this round. *)
+    let trace_mark =
+      match Trace.sink () with
+      | Some sink -> Some (sink, Trace.emitted sink)
+      | None -> None
+    in
     let disconnected = Hashtbl.create 8 in
     let auditor =
       Auditor.create ~ctxs:(C.replica_ctxs c) ~speculative
@@ -172,9 +191,23 @@ module Make (P : R.Protocol_intf.S) = struct
     loop ();
     if Auditor.violation auditor = None then
       Auditor.final_check auditor ~now:(Engine.now c.C.engine);
+    let violation = Auditor.violation auditor in
+    let forensics =
+      match (violation, trace_mark) with
+      | Some v, Some (sink, mark) ->
+          Some
+            (Poe_analysis.Forensics.explain
+               ~events:(Trace.events_from sink mark)
+               ~invariant:v.Auditor.invariant ~detail:v.Auditor.detail
+               ~at:v.Auditor.at
+               ~replica:(Option.value v.Auditor.replica ~default:(-1))
+               ~seqnos:v.Auditor.seqnos ())
+      | _ -> None
+    in
     {
       schedule;
-      violation = Auditor.violation auditor;
+      violation;
+      forensics;
       completed = Array.fold_left (fun acc h -> acc + Hub.completed h) 0 c.C.hubs;
       samples = Auditor.samples auditor;
       final_time = Engine.now c.C.engine;

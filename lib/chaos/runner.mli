@@ -11,6 +11,11 @@ module Make (P : Poe_runtime.Protocol_intf.S) : sig
   type outcome = {
     schedule : Schedule.t;
     violation : Auditor.violation option;
+    forensics : Poe_analysis.Forensics.t option;
+        (** the violation explained from this run's trace slice —
+            implicated slots, divergence point, causal timeline, fault
+            intersection; present only when a trace sink was installed
+            around the run *)
     completed : int;  (** client requests completed across all hubs *)
     samples : int;  (** auditor samples taken *)
     final_time : float;  (** simulated time when the run stopped *)

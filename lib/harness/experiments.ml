@@ -127,14 +127,18 @@ let run protocol spec =
 module Trace = Poe_obs.Trace
 module Metrics = Poe_obs.Metrics
 
-let instrumented ?node_name ?trace ?(metrics = false) f =
+let instrumented ?node_name ?trace ?(metrics = false) ?on_trace f =
   (* Fail before the (possibly long) run if the trace path is unwritable. *)
   (match trace with
   | Some (_, path) -> (
       try close_out (open_out path)
       with Sys_error msg -> failwith ("cannot write trace file: " ^ msg))
   | None -> ());
-  let tracer = Option.map (fun _ -> Trace.create ()) trace in
+  (* [on_trace] consumers (run analysis, forensic reports) need a sink
+     even when no trace file was requested. *)
+  let tracer =
+    if trace <> None || on_trace <> None then Some (Trace.create ()) else None
+  in
   (match tracer with Some tr -> Trace.set tr | None -> ());
   let registry = if metrics then Some (Metrics.create ()) else None in
   (match registry with Some r -> Metrics.set_current r | None -> ());
@@ -152,6 +156,9 @@ let instrumented ?node_name ?trace ?(metrics = false) f =
             (List.length (Trace.events tr))
             (Trace.dropped tr) path
             (Trace.format_name format)
+      | _ -> ());
+      (match (tracer, on_trace) with
+      | Some tr, Some g -> g tr
       | _ -> ());
       (match registry with
       | Some r -> Format.printf "%a" Metrics.pp_summary r

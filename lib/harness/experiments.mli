@@ -36,13 +36,17 @@ val instrumented :
   ?node_name:(int -> string) ->
   ?trace:Poe_obs.Trace.format * string ->
   ?metrics:bool ->
+  ?on_trace:(Poe_obs.Trace.t -> unit) ->
   (unit -> 'a) ->
   'a
 (** [instrumented ?trace ?metrics f] runs [f] with a fresh trace sink
     and/or metrics registry installed as the process-wide current ones
     (clusters built inside [f] pick them up). On return the trace is
     written to the given path in the given format and the metrics summary
-    is printed to stdout; both are uninstalled even if [f] raises. *)
+    is printed to stdout; both are uninstalled even if [f] raises.
+    [on_trace] forces a sink even without a trace path and receives the
+    (uninstalled) sink after [f] returns — this is how [--report] runs
+    analysis without also writing a raw trace file. *)
 
 (** {1 The experiments} *)
 

@@ -1,0 +1,143 @@
+type phase_stats = {
+  phase : string;
+  count : int;
+  mean : float;
+  p50 : float;
+  p95 : float;
+  p99 : float;
+  max : float;
+  share : float;
+}
+
+type breakdown = {
+  protocol : string;
+  slots_seen : int;
+  committed : int;
+  rolled_back : int;
+  abandoned : int;
+  in_flight : int;
+  truncated : int;
+  phases : phase_stats list;  (** first-appearance order *)
+  slot_count : int;
+  slot_p50 : float;
+  slot_p95 : float;
+  slot_p99 : float;
+  e2e_count : int;
+  e2e_p50 : float;
+  e2e_p95 : float;
+  e2e_p99 : float;
+}
+
+(* Exact quantiles over the sorted sample (nearest-rank), so the same
+   samples always yield the same bytes in the report. *)
+let quantile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else
+    let rank = int_of_float (Float.ceil (q *. float_of_int n)) in
+    sorted.(max 0 (min (n - 1) (rank - 1)))
+
+let stats_of samples =
+  let arr = Array.of_list samples in
+  Array.sort compare arr;
+  let n = Array.length arr in
+  let total = Array.fold_left ( +. ) 0.0 arr in
+  ( n,
+    (if n = 0 then 0.0 else total /. float_of_int n),
+    quantile arr 0.50,
+    quantile arr 0.95,
+    quantile arr 0.99,
+    (if n = 0 then 0.0 else arr.(n - 1)),
+    total )
+
+let of_result (r : Slot_life.result) =
+  (* Group slots by protocol (slot cat). *)
+  let protocols = ref [] in
+  let by_proto : (string, Slot_life.slot list ref) Hashtbl.t =
+    Hashtbl.create 8
+  in
+  List.iter
+    (fun (s : Slot_life.slot) ->
+      match Hashtbl.find_opt by_proto s.protocol with
+      | Some l -> l := s :: !l
+      | None ->
+          Hashtbl.replace by_proto s.protocol (ref [ s ]);
+          protocols := s.protocol :: !protocols)
+    r.slots;
+  let e2e = r.e2e_latencies in
+  let e2e_count, _, e2e_p50, e2e_p95, e2e_p99, _, _ = stats_of e2e in
+  List.rev_map
+    (fun proto ->
+      let slots = List.rev !(Hashtbl.find by_proto proto) in
+      let count t =
+        List.length
+          (List.filter (fun (s : Slot_life.slot) -> s.terminal = t) slots)
+      in
+      (* Phase durations: only slots with complete histories, so a
+         truncated lifecycle is flagged in the counts above but never
+         pollutes the latency numbers. *)
+      let phase_order = ref [] in
+      let phase_samples : (string, float list ref) Hashtbl.t =
+        Hashtbl.create 8
+      in
+      let slot_durs = ref [] in
+      List.iter
+        (fun (s : Slot_life.slot) ->
+          if not s.truncated then begin
+            List.iter
+              (fun (p : Slot_life.phase_span) ->
+                match p.end_ts with
+                | None -> ()
+                | Some e ->
+                    let d = e -. p.start_ts in
+                    (match Hashtbl.find_opt phase_samples p.phase with
+                    | Some l -> l := d :: !l
+                    | None ->
+                        Hashtbl.replace phase_samples p.phase (ref [ d ]);
+                        phase_order := p.phase :: !phase_order))
+              s.phases;
+            match (s.opened, s.closed) with
+            | Some o, Some c -> slot_durs := (c -. o) :: !slot_durs
+            | _ -> ()
+          end)
+        slots;
+      let total_phase_time =
+        Hashtbl.fold
+          (fun _ l acc -> acc +. List.fold_left ( +. ) 0.0 !l)
+          phase_samples 0.0
+      in
+      let phases =
+        List.rev_map
+          (fun phase ->
+            let samples = List.rev !(Hashtbl.find phase_samples phase) in
+            let count, mean, p50, p95, p99, max, total = stats_of samples in
+            let share =
+              if total_phase_time > 0.0 then total /. total_phase_time else 0.0
+            in
+            { phase; count; mean; p50; p95; p99; max; share })
+          !phase_order
+      in
+      let slot_count, _, slot_p50, slot_p95, slot_p99, _, _ =
+        stats_of (List.rev !slot_durs)
+      in
+      {
+        protocol = proto;
+        slots_seen = List.length slots;
+        committed = count Slot_life.Committed;
+        rolled_back = count Slot_life.Rolled_back;
+        abandoned = count Slot_life.Abandoned;
+        in_flight = count Slot_life.In_flight;
+        truncated =
+          List.length
+            (List.filter (fun (s : Slot_life.slot) -> s.truncated) slots);
+        phases;
+        slot_count;
+        slot_p50;
+        slot_p95;
+        slot_p99;
+        e2e_count;
+        e2e_p50;
+        e2e_p95;
+        e2e_p99;
+      })
+    !protocols

@@ -1,0 +1,44 @@
+(** Per-phase latency attribution.
+
+    Aggregates reconstructed slot lifecycles into a commit-latency
+    breakdown per protocol: nearest-rank p50/p95/p99 per consensus phase
+    plus each phase's share of total consensus time — the measurable form
+    of the paper's phase-count argument (PoE's three linear phases vs.
+    PBFT's extra quadratic commit). Truncated lifecycles are counted but
+    never contribute duration samples. *)
+
+type phase_stats = {
+  phase : string;
+  count : int;
+  mean : float;
+  p50 : float;
+  p95 : float;
+  p99 : float;
+  max : float;
+  share : float;  (** fraction of summed phase time across the protocol *)
+}
+
+type breakdown = {
+  protocol : string;
+  slots_seen : int;
+  committed : int;
+  rolled_back : int;
+  abandoned : int;
+  in_flight : int;
+  truncated : int;
+  phases : phase_stats list;  (** first-appearance order *)
+  slot_count : int;  (** complete propose-to-executed slot spans *)
+  slot_p50 : float;
+  slot_p95 : float;
+  slot_p99 : float;
+  e2e_count : int;  (** client submit-to-reply samples *)
+  e2e_p50 : float;
+  e2e_p95 : float;
+  e2e_p99 : float;
+}
+
+val quantile : float array -> float -> float
+(** Nearest-rank quantile of an ascending-sorted array; 0 when empty. *)
+
+val of_result : Slot_life.result -> breakdown list
+(** One breakdown per protocol cat, in first-appearance order. *)

@@ -1,0 +1,123 @@
+module Trace = Poe_obs.Trace
+
+(* Happens-before over the trace: program order within a node plus one
+   edge per message id from its "send" to its "deliver". The critical
+   path of an event is reconstructed backwards with the last-arrival
+   rule: whatever was the most recent delivery on a node is what enabled
+   the work that followed it, so the chain of (deliver <- send) hops,
+   alternating with the local computation between them, is the path that
+   bounded the latency. *)
+
+type step =
+  | Local of { ts : float; node : int; label : string }
+  | Hop of {
+      send_ts : float;
+      recv_ts : float;
+      src : int;
+      dst : int;
+      mid : int;
+      bytes : int;
+    }
+
+type t = {
+  sends : (int, Trace.event) Hashtbl.t; (* mid -> send event *)
+  delivers_by_node : (int, (float * int * int) array) Hashtbl.t;
+      (* node -> (ts, mid, src) ascending by ts *)
+  events_by_node : (int, Trace.event array) Hashtbl.t;
+}
+
+let build events =
+  let sends = Hashtbl.create 4096 in
+  let delivers : (int, (float * int * int) list ref) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  let per_node : (int, Trace.event list ref) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun (ev : Trace.event) ->
+      (match Hashtbl.find_opt per_node ev.node with
+      | Some l -> l := ev :: !l
+      | None -> Hashtbl.replace per_node ev.node (ref [ ev ]));
+      if String.equal ev.cat "net" then
+        match (ev.name, Trace_reader.int_arg "mid" ev) with
+        | "send", Some mid -> Hashtbl.replace sends mid ev
+        | "deliver", Some mid -> (
+            let src =
+              Option.value (Trace_reader.int_arg "src" ev) ~default:(-1)
+            in
+            match Hashtbl.find_opt delivers ev.node with
+            | Some l -> l := (ev.ts, mid, src) :: !l
+            | None -> Hashtbl.replace delivers ev.node (ref [ (ev.ts, mid, src) ]))
+        | _ -> ())
+    events;
+  let delivers_by_node = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun node l ->
+      Hashtbl.replace delivers_by_node node (Array.of_list (List.rev !l)))
+    delivers;
+  let events_by_node = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun node l ->
+      Hashtbl.replace events_by_node node (Array.of_list (List.rev !l)))
+    per_node;
+  { sends; delivers_by_node; events_by_node }
+
+(* Latest delivery on [node] with ts <= [before] (binary search; events
+   were recorded in simulated-time order). *)
+let last_deliver t ~node ~before =
+  match Hashtbl.find_opt t.delivers_by_node node with
+  | None -> None
+  | Some arr ->
+      let n = Array.length arr in
+      if n = 0 then None
+      else begin
+        let lo = ref 0 and hi = ref n in
+        while !lo < !hi do
+          let mid = (!lo + !hi) / 2 in
+          let ts, _, _ = arr.(mid) in
+          if ts <= before then lo := mid + 1 else hi := mid
+        done;
+        if !lo = 0 then None else Some arr.(!lo - 1)
+      end
+
+let find_slot_completion t ~node ~seqno =
+  match Hashtbl.find_opt t.events_by_node node with
+  | None -> None
+  | Some arr ->
+      let best = ref None in
+      Array.iter
+        (fun (ev : Trace.event) ->
+          if ev.seqno = seqno then
+            match (ev.cat, ev.name, ev.ph) with
+            | "exec", "executed", _ -> best := Some ev
+            | _ -> if !best = None then best := Some ev)
+        arr;
+      !best
+
+let critical_path ?(max_hops = 32) t ~node ~seqno =
+  match find_slot_completion t ~node ~seqno with
+  | None -> []
+  | Some target ->
+      let rec walk acc node ts hops =
+        if hops >= max_hops then acc
+        else
+          match last_deliver t ~node ~before:ts with
+          | None -> acc
+          | Some (recv_ts, mid, src) -> (
+              match Hashtbl.find_opt t.sends mid with
+              | None ->
+                  (* send edge evicted: stop, path is truncated here *)
+                  acc
+              | Some send ->
+                  let bytes =
+                    Option.value (Trace_reader.int_arg "bytes" send) ~default:0
+                  in
+                  let hop =
+                    Hop
+                      { send_ts = send.ts; recv_ts; src; dst = node; mid; bytes }
+                  in
+                  walk (hop :: acc) src send.ts (hops + 1))
+      in
+      let tail =
+        [ Local { ts = target.ts; node; label = target.cat ^ "." ^ target.name } ]
+      in
+      walk tail node target.ts 0

@@ -1,0 +1,30 @@
+(** Causal message graph over a trace.
+
+    Links each network "send" to its "deliver" through the message id the
+    simulator stamps on both, giving a happens-before DAG (program order
+    within a node, message edges across nodes). {!critical_path} walks it
+    backwards from a slot's completion with the last-arrival rule: the
+    most recent delivery on a node is what enabled the work after it, so
+    the resulting send/deliver chain is the path that bounded the slot's
+    latency. *)
+
+type step =
+  | Local of { ts : float; node : int; label : string }
+  | Hop of {
+      send_ts : float;
+      recv_ts : float;
+      src : int;
+      dst : int;
+      mid : int;
+      bytes : int;
+    }
+
+type t
+
+val build : Poe_obs.Trace.event list -> t
+
+val critical_path : ?max_hops:int -> t -> node:int -> seqno:int -> step list
+(** Backwards chain ending at [seqno]'s completion on [node] (its
+    "executed" mark when present, else its last event), oldest step
+    first. Empty when the slot left no events on that node; shorter than
+    the true path when the ring evicted a send edge. *)

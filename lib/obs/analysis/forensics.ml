@@ -1,0 +1,159 @@
+module Trace = Poe_obs.Trace
+
+type fault = {
+  f_at : float;
+  f_node : int;
+  f_action : string;
+  f_args : (string * Trace.arg) list;
+}
+
+type divergence = {
+  d_seqno : int;
+  d_node_a : int;
+  d_digest_a : string;
+  d_node_b : int;
+  d_digest_b : string;
+}
+
+type timeline_entry = {
+  e_ts : float;
+  e_node : int;
+  e_cat : string;
+  e_name : string;
+  e_ph : Trace.ph;
+  e_view : int;
+  e_seqno : int;
+  e_args : (string * Trace.arg) list;
+}
+
+type t = {
+  invariant : string;
+  detail : string;
+  at : float;
+  replica : int;
+  slots : int list;
+  divergence : divergence option;
+  timeline : timeline_entry list;
+  faults : fault list;
+  paths : (int * int * Causal.step list) list;  (* (seqno, node, path) *)
+}
+
+(* Last execution (batch digest, result digest) per (seqno, node), from
+   the reconstructed lifecycles. *)
+let executions_by_seqno (life : Slot_life.result) =
+  let tbl : (int, (int * string * string) list) Hashtbl.t =
+    Hashtbl.create 256
+  in
+  List.iter
+    (fun (s : Slot_life.slot) ->
+      match List.rev s.executions with
+      | (_, digest, result) :: _ ->
+          let cur = Option.value (Hashtbl.find_opt tbl s.seqno) ~default:[] in
+          Hashtbl.replace tbl s.seqno ((s.node, digest, result) :: cur)
+      | [] -> ())
+    life.slots;
+  tbl
+
+(* First seqno where two replicas' final executions disagree — on batch
+   content (order divergence) or on result (state divergence). *)
+let find_divergence (life : Slot_life.result) =
+  let tbl = executions_by_seqno life in
+  let seqnos =
+    Hashtbl.fold (fun s _ acc -> s :: acc) tbl [] |> List.sort compare
+  in
+  let rec scan = function
+    | [] -> None
+    | seqno :: rest -> (
+        let execs =
+          List.sort
+            (fun (a, _, _) (b, _, _) -> compare a b)
+            (Hashtbl.find tbl seqno)
+        in
+        match execs with
+        | (node_a, digest_a, result_a) :: others -> (
+            let differs =
+              List.find_opt
+                (fun (_, d, r) ->
+                  not (String.equal d digest_a && String.equal r result_a))
+                others
+            in
+            match differs with
+            | Some (node_b, digest_b, result_b) ->
+                (* Report the pair that actually differs: batch digests
+                   (order divergence) take precedence over result digests
+                   (state divergence). *)
+                let d_digest_a, d_digest_b =
+                  if not (String.equal digest_a digest_b) then
+                    (digest_a, digest_b)
+                  else (result_a, result_b)
+                in
+                Some
+                  { d_seqno = seqno; d_node_a = node_a; d_digest_a;
+                    d_node_b = node_b; d_digest_b }
+            | None -> scan rest)
+        | [] -> scan rest)
+  in
+  scan seqnos
+
+let entry_of_event (ev : Trace.event) =
+  {
+    e_ts = ev.ts;
+    e_node = ev.node;
+    e_cat = ev.cat;
+    e_name = ev.name;
+    e_ph = ev.ph;
+    e_view = ev.view;
+    e_seqno = ev.seqno;
+    e_args = ev.args;
+  }
+
+let is_chaos (ev : Trace.event) = String.equal ev.cat "chaos"
+
+let explain ~events ~invariant ~detail ~at ~replica ~seqnos () =
+  let life = Slot_life.reconstruct events in
+  let divergence = find_divergence life in
+  let slots =
+    let from_div = match divergence with Some d -> [ d.d_seqno ] | None -> [] in
+    List.sort_uniq compare (seqnos @ from_div)
+  in
+  let in_slots seqno = List.mem seqno slots in
+  let timeline =
+    List.filter_map
+      (fun (ev : Trace.event) ->
+        if ev.ts > at then None
+        else if is_chaos ev then Some (entry_of_event ev)
+        else if ev.seqno >= 0 && in_slots ev.seqno then Some (entry_of_event ev)
+        else if
+          String.equal ev.cat "exec"
+          && (String.equal ev.name "rollback" || String.equal ev.name "abandon")
+        then Some (entry_of_event ev)
+        else None)
+      events
+  in
+  let faults =
+    List.filter_map
+      (fun (ev : Trace.event) ->
+        if is_chaos ev && ev.ts <= at then
+          Some
+            { f_at = ev.ts; f_node = ev.node; f_action = ev.name; f_args = ev.args }
+        else None)
+      events
+  in
+  let graph = Causal.build events in
+  let nodes_for seqno =
+    match divergence with
+    | Some d when d.d_seqno = seqno -> [ d.d_node_a; d.d_node_b ]
+    | _ -> [ replica ]
+  in
+  let paths =
+    List.concat_map
+      (fun seqno ->
+        List.filter_map
+          (fun node ->
+            match Causal.critical_path graph ~node ~seqno with
+            | [] -> None
+            | path -> Some (seqno, node, path))
+          (List.sort_uniq compare (nodes_for seqno)))
+      slots
+  in
+  { invariant; detail; at; replica; slots; divergence; timeline; faults; paths }

@@ -1,0 +1,63 @@
+(** Forensic violation explainer.
+
+    Turns "the auditor tripped" into an explanation assembled purely from
+    the trace: which slot(s) are implicated, where replica histories
+    diverge (first seqno whose final executions disagree on batch or
+    result digest), the full causal timeline of those slots across
+    replicas, the fault-schedule actions in play, and the critical
+    message path that fed each divergent execution. Everything is
+    reconstructed from exported events, so the explainer needs no access
+    to live protocol state and the report is as deterministic as the
+    trace. *)
+
+type fault = {
+  f_at : float;
+  f_node : int;
+  f_action : string;
+  f_args : (string * Poe_obs.Trace.arg) list;
+}
+
+type divergence = {
+  d_seqno : int;
+  d_node_a : int;
+  d_digest_a : string;
+  d_node_b : int;
+  d_digest_b : string;
+}
+
+type timeline_entry = {
+  e_ts : float;
+  e_node : int;
+  e_cat : string;
+  e_name : string;
+  e_ph : Poe_obs.Trace.ph;
+  e_view : int;
+  e_seqno : int;
+  e_args : (string * Poe_obs.Trace.arg) list;
+}
+
+type t = {
+  invariant : string;
+  detail : string;
+  at : float;
+  replica : int;
+  slots : int list;  (** implicated seqnos, ascending *)
+  divergence : divergence option;
+  timeline : timeline_entry list;  (** trace order, capped at [at] *)
+  faults : fault list;  (** chaos actions fired before [at] *)
+  paths : (int * int * Causal.step list) list;
+      (** (seqno, node, critical path) for each implicated slot on each
+          divergent (or violating) replica *)
+}
+
+val explain :
+  events:Poe_obs.Trace.event list ->
+  invariant:string ->
+  detail:string ->
+  at:float ->
+  replica:int ->
+  seqnos:int list ->
+  unit ->
+  t
+(** [seqnos] are the slots the auditor itself implicated (may be empty —
+    the divergence scan supplies one when it can). *)

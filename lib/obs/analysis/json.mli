@@ -1,0 +1,24 @@
+(** Minimal JSON parser for reading back exported traces.
+
+    Integers and floats are distinct constructors so trace args map back
+    to the right {!Poe_obs.Trace.arg}; [\u00XX] escapes decode to single
+    bytes, the inverse of the exporter's byte escaping, so string round
+    trips are byte-exact. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val parse : string -> (t, string) result
+
+val member : string -> t -> t option
+(** Field lookup on [Obj]; [None] on missing field or non-object. *)
+
+val to_int : t -> int option
+val to_float : t -> float option
+val to_string : t -> string option

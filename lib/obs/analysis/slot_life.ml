@@ -1,0 +1,298 @@
+module Trace = Poe_obs.Trace
+
+type phase_span = { phase : string; start_ts : float; end_ts : float option }
+
+type terminal = Committed | Rolled_back | Abandoned | In_flight | Truncated
+
+let terminal_name = function
+  | Committed -> "committed"
+  | Rolled_back -> "rolled_back"
+  | Abandoned -> "abandoned"
+  | In_flight -> "in_flight"
+  | Truncated -> "truncated"
+
+type slot = {
+  node : int;
+  seqno : int;
+  view : int;  (** last view observed for this slot *)
+  protocol : string;  (** cat of the slot span, i.e. the protocol name *)
+  opened : float option;  (** [None] when the opening edge was evicted *)
+  closed : float option;
+  phases : phase_span list;  (** chronological *)
+  executions : (float * string * string) list;
+      (** (ts, batch digest, result digest), chronological; more than one
+          means the slot was re-executed after a rollback *)
+  rollbacks : int;
+  terminal : terminal;
+  truncated : bool;
+      (** the ring evicted part of this slot's history: phase durations
+          are unreliable and excluded from attribution *)
+}
+
+type lifecycle = {
+  l_seqno : int;
+  l_view : int;
+  submit_ts : float option;
+      (** earliest client submit among requests served by this slot *)
+  reply_ts : float option;  (** earliest client-visible reply *)
+  l_slots : slot list;  (** per replica, sorted by node *)
+}
+
+type result = {
+  slots : slot list;  (** sorted by (seqno, node) *)
+  lifecycles : lifecycle list;  (** sorted by seqno *)
+  e2e_latencies : float list;  (** submit-to-reply, reply order *)
+}
+
+(* ------------------------------------------------------------------ *)
+
+type building = {
+  b_node : int;
+  b_seqno : int;
+  mutable b_view : int;
+  mutable b_cat : string;
+  mutable b_opened : float option;
+  mutable b_closed : float option;
+  mutable b_phases : phase_span list; (* reversed *)
+  mutable b_execs : (float * string * string) list; (* reversed *)
+  mutable b_rollbacks : int;
+  mutable b_rolled : bool; (* rolled back and not re-executed since *)
+  mutable b_abandoned : bool;
+  mutable b_trunc : bool;
+}
+
+let reconstruct events =
+  let recs : (int * int, building) Hashtbl.t = Hashtbl.create 256 in
+  let order = ref [] in
+  let get ?(trunc = false) ~cat ~view ~node ~seqno () =
+    match Hashtbl.find_opt recs (node, seqno) with
+    | Some b ->
+        if view >= 0 then b.b_view <- view;
+        if trunc then b.b_trunc <- true;
+        b
+    | None ->
+        let b =
+          {
+            b_node = node;
+            b_seqno = seqno;
+            b_view = view;
+            b_cat = cat;
+            b_opened = None;
+            b_closed = None;
+            b_phases = [];
+            b_execs = [];
+            b_rollbacks = 0;
+            b_rolled = false;
+            b_abandoned = false;
+            b_trunc = trunc;
+          }
+        in
+        Hashtbl.replace recs (node, seqno) b;
+        order := (node, seqno) :: !order;
+        b
+  in
+  let close_open_phase b ts =
+    match b.b_phases with
+    | { end_ts = None; _ } as p :: rest ->
+        b.b_phases <- { p with end_ts = Some ts } :: rest
+    | _ -> ()
+  in
+  let submits : (int * int * int, float) Hashtbl.t = Hashtbl.create 1024 in
+  let replies = ref [] in (* (seqno, view, submit key, ts, latency) rev *)
+  List.iter
+    (fun (ev : Trace.event) ->
+      match ev.ph with
+      | Trace.Span_begin when ev.seqno >= 0 ->
+          if String.equal ev.name "slot" then begin
+            let b =
+              get ~cat:ev.cat ~view:ev.view ~node:ev.node ~seqno:ev.seqno ()
+            in
+            b.b_cat <- ev.cat;
+            if b.b_opened = None then b.b_opened <- Some ev.ts;
+            (* A slot span after a close is a re-proposal (rollback path):
+               keep accumulating into the same record. *)
+            b.b_closed <- None;
+            b.b_abandoned <- false
+          end
+          else begin
+            let b =
+              match Hashtbl.find_opt recs (ev.node, ev.seqno) with
+              | Some b -> b
+              | None ->
+                  (* phase begin with no slot begin: the ring evicted the
+                     slot's opening edge *)
+                  get ~trunc:true ~cat:ev.cat ~view:ev.view ~node:ev.node
+                    ~seqno:ev.seqno ()
+            in
+            if ev.view >= 0 then b.b_view <- ev.view;
+            close_open_phase b ev.ts;
+            b.b_phases <-
+              { phase = ev.name; start_ts = ev.ts; end_ts = None } :: b.b_phases;
+            b.b_abandoned <- false
+          end
+      | Trace.Span_end when ev.seqno >= 0 ->
+          let b =
+            match Hashtbl.find_opt recs (ev.node, ev.seqno) with
+            | Some b -> b
+            | None ->
+                (* end with no recorded beginning: evicted head *)
+                get ~trunc:true ~cat:ev.cat ~view:ev.view ~node:ev.node
+                  ~seqno:ev.seqno ()
+          in
+          if ev.view >= 0 then b.b_view <- ev.view;
+          if String.equal ev.name "slot" then b.b_closed <- Some ev.ts
+          else begin
+            (match b.b_phases with
+            | { phase; end_ts = None; _ } :: _ when String.equal phase ev.name
+              ->
+                ()
+            | _ ->
+                (* phase end that matches no open phase: evicted start;
+                   record a zero-width placeholder so the phase is visible
+                   but flagged *)
+                b.b_trunc <- true;
+                b.b_phases <-
+                  { phase = ev.name; start_ts = ev.ts; end_ts = None }
+                  :: b.b_phases);
+            close_open_phase b ev.ts
+          end
+      | Trace.Instant when String.equal ev.cat "exec" -> (
+          match ev.name with
+          | "executed" when ev.seqno >= 0 ->
+              let b =
+                get ~cat:ev.cat ~view:ev.view ~node:ev.node ~seqno:ev.seqno ()
+              in
+              let digest =
+                Option.value (Trace_reader.str_arg "digest" ev) ~default:""
+              in
+              let result =
+                Option.value (Trace_reader.str_arg "result" ev) ~default:""
+              in
+              b.b_execs <- (ev.ts, digest, result) :: b.b_execs;
+              b.b_rolled <- false;
+              b.b_abandoned <- false
+          | "rollback" when ev.seqno >= 0 ->
+              Hashtbl.iter
+                (fun (node, seqno) b ->
+                  if node = ev.node && seqno > ev.seqno && b.b_execs <> []
+                     && not b.b_rolled
+                  then begin
+                    b.b_rollbacks <- b.b_rollbacks + 1;
+                    b.b_rolled <- true
+                  end)
+                recs
+          | "abandon" ->
+              Hashtbl.iter
+                (fun (node, _) b ->
+                  if node = ev.node && b.b_closed = None
+                     && (b.b_execs = [] || b.b_rolled)
+                  then b.b_abandoned <- true)
+                recs
+          | _ -> ())
+      | Trace.Instant when String.equal ev.cat "client" -> (
+          match ev.name with
+          | "submit" -> (
+              match
+                ( Trace_reader.int_arg "hub" ev,
+                  Trace_reader.int_arg "client" ev,
+                  Trace_reader.int_arg "rid" ev )
+              with
+              | Some hub, Some client, Some rid ->
+                  if not (Hashtbl.mem submits (hub, client, rid)) then
+                    Hashtbl.replace submits (hub, client, rid) ev.ts
+              | _ -> ())
+          | "reply" when ev.seqno >= 0 -> (
+              match
+                ( Trace_reader.int_arg "hub" ev,
+                  Trace_reader.int_arg "client" ev,
+                  Trace_reader.int_arg "rid" ev )
+              with
+              | Some hub, Some client, Some rid ->
+                  let latency =
+                    Option.value (Trace_reader.float_arg "latency" ev)
+                      ~default:0.0
+                  in
+                  replies :=
+                    (ev.seqno, ev.view, (hub, client, rid), ev.ts, latency)
+                    :: !replies
+              | _ -> ())
+          | _ -> ())
+      | _ -> ())
+    events;
+  let finalize b =
+    let terminal =
+      if b.b_rolled then Rolled_back
+      else if b.b_execs <> [] then Committed
+      else if b.b_trunc then Truncated
+      else if b.b_abandoned then Abandoned
+      else In_flight
+    in
+    {
+      node = b.b_node;
+      seqno = b.b_seqno;
+      view = b.b_view;
+      protocol = b.b_cat;
+      opened = b.b_opened;
+      closed = b.b_closed;
+      phases = List.rev b.b_phases;
+      executions = List.rev b.b_execs;
+      rollbacks = b.b_rollbacks;
+      terminal;
+      truncated = b.b_trunc;
+    }
+  in
+  let slots =
+    List.rev_map (fun key -> finalize (Hashtbl.find recs key)) !order
+    |> List.sort (fun a b ->
+           match compare a.seqno b.seqno with 0 -> compare a.node b.node | c -> c)
+  in
+  (* Group per seqno and attach the client edges. *)
+  let by_seqno : (int, slot list) Hashtbl.t = Hashtbl.create 256 in
+  List.iter
+    (fun s ->
+      let cur = Option.value (Hashtbl.find_opt by_seqno s.seqno) ~default:[] in
+      Hashtbl.replace by_seqno s.seqno (s :: cur))
+    (List.rev slots);
+  let reply_list = List.rev !replies in
+  let first_reply : (int, float * (int * int * int)) Hashtbl.t =
+    Hashtbl.create 256
+  in
+  List.iter
+    (fun (seqno, _view, key, ts, _lat) ->
+      match Hashtbl.find_opt first_reply seqno with
+      | Some (ts0, _) when ts0 <= ts -> ()
+      | _ -> Hashtbl.replace first_reply seqno (ts, key))
+    reply_list;
+  let seqnos =
+    Hashtbl.fold (fun s _ acc -> s :: acc) by_seqno []
+    |> List.sort_uniq compare
+  in
+  let seqnos =
+    (* replies can reference slots whose consensus events were evicted *)
+    List.sort_uniq compare
+      (seqnos @ List.map (fun (s, _, _, _, _) -> s) reply_list)
+  in
+  let lifecycles =
+    List.map
+      (fun seqno ->
+        let l_slots = Option.value (Hashtbl.find_opt by_seqno seqno) ~default:[] in
+        let l_view =
+          List.fold_left (fun acc s -> max acc s.view) (-1) l_slots
+        in
+        let reply_ts, submit_ts =
+          match Hashtbl.find_opt first_reply seqno with
+          | Some (ts, key) -> (Some ts, Hashtbl.find_opt submits key)
+          | None -> (None, None)
+        in
+        { l_seqno = seqno; l_view; submit_ts; reply_ts; l_slots })
+      seqnos
+  in
+  let e2e_latencies =
+    List.filter_map
+      (fun (_, _, key, ts, lat) ->
+        match Hashtbl.find_opt submits key with
+        | Some sub -> Some (ts -. sub)
+        | None -> if lat > 0.0 then Some lat else None)
+      reply_list
+  in
+  { slots; lifecycles; e2e_latencies }

@@ -1,0 +1,46 @@
+(** Slot lifecycle reconstruction.
+
+    Folds an exported event stream back into per-(node, seqno) slot
+    histories — which consensus phases ran, when the batch executed,
+    whether it was rolled back or abandoned — and groups them into
+    per-seqno cluster lifecycles with the client submit/reply edges
+    attached. This is the input to latency attribution and forensics. *)
+
+type phase_span = { phase : string; start_ts : float; end_ts : float option }
+
+type terminal = Committed | Rolled_back | Abandoned | In_flight | Truncated
+
+val terminal_name : terminal -> string
+
+type slot = {
+  node : int;
+  seqno : int;
+  view : int;
+  protocol : string;  (** cat of the slot span, i.e. the protocol name *)
+  opened : float option;
+  closed : float option;
+  phases : phase_span list;  (** chronological *)
+  executions : (float * string * string) list;
+      (** (ts, batch digest, result digest); several = re-executions *)
+  rollbacks : int;
+  terminal : terminal;
+  truncated : bool;
+      (** part of this slot's history was evicted by the ring: phase
+          durations are unreliable and excluded from attribution *)
+}
+
+type lifecycle = {
+  l_seqno : int;
+  l_view : int;
+  submit_ts : float option;
+  reply_ts : float option;
+  l_slots : slot list;
+}
+
+type result = {
+  slots : slot list;  (** sorted by (seqno, node) *)
+  lifecycles : lifecycle list;  (** sorted by seqno *)
+  e2e_latencies : float list;  (** client submit-to-reply, reply order *)
+}
+
+val reconstruct : Poe_obs.Trace.event list -> result

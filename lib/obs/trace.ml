@@ -29,6 +29,10 @@ type t = {
   open_slots : (int * int, open_slot) Hashtbl.t; (* (node, seqno) *)
 }
 
+(* Global index of the oldest retained event: everything before it was
+   overwritten by the ring. *)
+let first_retained t = t.dropped
+
 let create ?(capacity = 1 lsl 18) () =
   if capacity < 1 then invalid_arg "Trace.create: capacity >= 1";
   {
@@ -55,6 +59,19 @@ let events t =
 
 let dropped t = t.dropped
 
+let emitted t = t.dropped + t.len
+
+let events_from t mark =
+  let start_idx = first_retained t in
+  let skip = max 0 (mark - start_idx) in
+  if skip >= t.len then []
+  else
+    let start = (t.head - t.len + skip + t.capacity) mod t.capacity in
+    List.init (t.len - skip) (fun i ->
+        match t.buf.((start + i) mod t.capacity) with
+        | Some ev -> ev
+        | None -> assert false)
+
 (* ------------------------------------------------------------------ *)
 (* Current sink                                                        *)
 
@@ -63,6 +80,7 @@ let current : t option ref = ref None
 let set t = current := Some t
 let clear () = current := None
 let enabled () = !current <> None
+let sink () = !current
 
 let instant ?(view = -1) ?(seqno = -1) ?(tid = 0) ?(args = []) ~ts ~node ~cat
     name =
@@ -160,6 +178,12 @@ let format_of_string = function
 
 let format_name = function Jsonl -> "jsonl" | Chrome -> "chrome"
 
+(* Arg strings are arbitrary bytes (digests, payload prefixes, anything a
+   protocol stuffed into an event). Bytes outside printable ASCII are
+   emitted as \u00XX (byte value, latin-1 style), so the export is always
+   pure-ASCII valid JSON even for strings that are not valid UTF-8; the
+   analysis-side reader decodes \u00XX back to the single byte, making the
+   round trip byte-exact. *)
 let escape_json buf s =
   Buffer.add_char buf '"';
   String.iter
@@ -170,7 +194,7 @@ let escape_json buf s =
       | '\n' -> Buffer.add_string buf "\\n"
       | '\r' -> Buffer.add_string buf "\\r"
       | '\t' -> Buffer.add_string buf "\\t"
-      | c when Char.code c < 0x20 ->
+      | c when Char.code c < 0x20 || Char.code c >= 0x7f ->
           Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
       | c -> Buffer.add_char buf c)
     s;

@@ -46,6 +46,17 @@ val events : t -> event list
 val dropped : t -> int
 (** Events overwritten because the ring wrapped. *)
 
+val emitted : t -> int
+(** Total events ever recorded (retained + dropped). The global index of
+    event [i] in {!events} is [emitted t - List.length (events t) + i]. *)
+
+val events_from : t -> int -> event list
+(** [events_from t mark] is the still-retained suffix of events whose
+    global index is [>= mark] — capture [emitted t] before a sub-run
+    (e.g. one chaos round) to slice its events out of a shared ring.
+    Events already overwritten are silently missing, exactly as with
+    {!events}. *)
+
 (** {1 The current sink}
 
     The simulator is single-threaded, so one module-level sink
@@ -54,6 +65,10 @@ val dropped : t -> int
 val set : t -> unit
 val clear : unit -> unit
 val enabled : unit -> bool
+
+val sink : unit -> t option
+(** The currently installed sink, if any — lets post-hoc consumers (the
+    chaos runner's forensic explainer) read back what a run recorded. *)
 
 (** {1 Emitters}
 
@@ -104,10 +119,18 @@ type format = Jsonl | Chrome
 val format_of_string : string -> (format, string) result
 val format_name : format -> string
 
+val escape_json : Buffer.t -> string -> unit
+(** Append a JSON string literal (quotes included) using the exporters'
+    byte-escaping rules — shared by every JSON writer in the tree so all
+    of them survive arbitrary bytes identically. *)
+
 val export_jsonl : t -> Buffer.t -> unit
 (** One JSON object per line, field-for-field the {!event} record.
     Output is deterministic: events appear in emission order and all
-    numbers are formatted with fixed precision. *)
+    numbers are formatted with fixed precision. Strings may hold
+    arbitrary bytes: anything outside printable ASCII is escaped as
+    [\u00XX] (byte value), so the output is always valid JSON and the
+    analysis reader's decode is byte-exact. *)
 
 val export_chrome : ?node_name:(int -> string) -> t -> Buffer.t -> unit
 (** Chrome [trace_event] JSON ({["traceEvents": [...]]}) suitable for

@@ -82,6 +82,18 @@ let send_responses t ~view ~seqno ~(batch : Message.batch) ~result_digest =
 let finish t ~view ~seqno ~batch ~proof =
   let result_digest = Replica_ctx.execute_batch t.ctx ~view ~seqno batch ~proof in
   if Poe_obs.Trace.enabled () then begin
+    (* The per-replica executed mark carries the batch and result digests:
+       this is what lets the forensic explainer find the exact divergence
+       point between two replicas' histories from the trace alone. *)
+    Poe_obs.Trace.instant ~ts:(Replica_ctx.now t.ctx)
+      ~node:(Replica_ctx.id t.ctx) ~cat:"exec" ~view ~seqno
+      ~args:
+        [
+          ("digest", Poe_obs.Trace.S batch.Message.digest);
+          ("result", Poe_obs.Trace.S result_digest);
+          ("txns", Poe_obs.Trace.I (Array.length batch.Message.reqs));
+        ]
+      "executed";
     (* Close the consensus-slot span opened by the protocol's first phase
        event; its duration is the slot's propose-to-executed latency. *)
     match
@@ -160,6 +172,11 @@ let offer t ~seqno ~view ~batch ~proof =
 
 let rollback_to t ~seqno =
   let reverted = Replica_ctx.rollback_to t.ctx ~seqno in
+  if Poe_obs.Trace.enabled () then
+    Poe_obs.Trace.instant ~ts:(Replica_ctx.now t.ctx)
+      ~node:(Replica_ctx.id t.ctx) ~cat:"exec" ~seqno
+      ~args:[ ("reverted", Poe_obs.Trace.I reverted) ]
+      "rollback";
   let dropped = ref [] in
   Hashtbl.iter
     (fun k (r : record) ->
@@ -185,6 +202,16 @@ let rollback_to t ~seqno =
    once the new view fills the gap would double-execute its requests
    (the new primary re-proposes them from its watch list). *)
 let abandon_unexecuted t =
+  if Poe_obs.Trace.enabled () && (Hashtbl.length t.ready > 0 || t.k_sched > t.k_exec)
+  then
+    Poe_obs.Trace.instant ~ts:(Replica_ctx.now t.ctx)
+      ~node:(Replica_ctx.id t.ctx) ~cat:"exec"
+      ~args:
+        [
+          ("parked", Poe_obs.Trace.I (Hashtbl.length t.ready));
+          ("in_flight", Poe_obs.Trace.I (t.k_sched - t.k_exec));
+        ]
+      "abandon";
   Hashtbl.reset t.ready;
   t.k_sched <- t.k_exec;
   t.epoch <- t.epoch + 1

@@ -144,24 +144,19 @@ let submit_next t client =
     in
     arm_deadline t rs;
     Hashtbl.replace t.outstanding (client, rid) rs;
+    if Poe_obs.Trace.enabled () then
+      Poe_obs.Trace.instant ~ts:req.Message.submitted ~node:(node_id t)
+        ~cat:"client"
+        ~args:
+          [
+            ("hub", Poe_obs.Trace.I t.hub);
+            ("client", Poe_obs.Trace.I client);
+            ("rid", Poe_obs.Trace.I rid);
+          ]
+        "submit";
     t.out_buffer <- req :: t.out_buffer;
     t.out_count <- t.out_count + 1;
     ensure_flush t
-  end
-
-let complete t rs =
-  let key = (rs.req.Message.client, rs.req.Message.rid) in
-  if Hashtbl.mem t.outstanding key then begin
-    Hashtbl.remove t.outstanding key;
-    t.completed <- t.completed + 1;
-    let now = Engine.now t.engine in
-    Stats.record_completion t.stats ~now
-      ~submitted:rs.req.Message.submitted ~count:1;
-    if Poe_obs.Metrics.enabled () then begin
-      Poe_obs.Metrics.cincr "client.completed";
-      Poe_obs.Metrics.hobs "client.latency" (now -. rs.req.Message.submitted)
-    end;
-    submit_next t rs.req.Message.client
   end
 
 (* Responses lists are at most n long, so quorum counting scans them
@@ -179,6 +174,40 @@ let matching_responses rs =
       let count = count_matching rs ~seqno ~digest in
       if count > best_count then (count, Some witness) else best)
     (0, None) rs.responses
+
+let complete t rs =
+  let key = (rs.req.Message.client, rs.req.Message.rid) in
+  if Hashtbl.mem t.outstanding key then begin
+    Hashtbl.remove t.outstanding key;
+    t.completed <- t.completed + 1;
+    let now = Engine.now t.engine in
+    Stats.record_completion t.stats ~now
+      ~submitted:rs.req.Message.submitted ~count:1;
+    if Poe_obs.Trace.enabled () then begin
+      (* Stamp the reply with the slot that served it (the response set's
+         winning witness) so lifecycle reconstruction can close the
+         submit → ... → reply chain per (view, seqno). *)
+      let view, seqno =
+        match matching_responses rs with
+        | _, Some (v, s, _) -> (v, s)
+        | _, None -> (-1, -1)
+      in
+      Poe_obs.Trace.instant ~ts:now ~node:(node_id t) ~cat:"client" ~view ~seqno
+        ~args:
+          [
+            ("hub", Poe_obs.Trace.I t.hub);
+            ("client", Poe_obs.Trace.I rs.req.Message.client);
+            ("rid", Poe_obs.Trace.I rs.req.Message.rid);
+            ("latency", Poe_obs.Trace.F (now -. rs.req.Message.submitted));
+          ]
+        "reply"
+    end;
+    if Poe_obs.Metrics.enabled () then begin
+      Poe_obs.Metrics.cincr "client.completed";
+      Poe_obs.Metrics.hobs "client.latency" (now -. rs.req.Message.submitted)
+    end;
+    submit_next t rs.req.Message.client
+  end
 
 (* Timed-out requests are re-broadcast to every replica as CLIENT-FORWARD;
    non-faulty replicas relay them to the primary and start suspecting it

@@ -17,6 +17,9 @@ type 'msg t = {
   mutable sent_messages : int;
   mutable sent_bytes : int;
   mutable dropped_messages : int;
+  mutable next_mid : int;
+      (* monotone message id; ties a "send" trace event to its matching
+         "deliver"/"drop" so the analysis layer can build a causal graph *)
 }
 
 let create ~engine ~n_nodes ~latency ?(bandwidth_bytes_per_s = None)
@@ -39,6 +42,7 @@ let create ~engine ~n_nodes ~latency ?(bandwidth_bytes_per_s = None)
     sent_messages = 0;
     sent_bytes = 0;
     dropped_messages = 0;
+    next_mid = 0;
   }
 
 let n_nodes t = t.n_nodes
@@ -56,27 +60,28 @@ module Metrics = Poe_obs.Metrics
 
 (* Hot path: tracing and metrics are pre-guarded so a disabled run pays
    one load-and-branch per message and allocates nothing. *)
-let trace_drop t ~src ~dst ~bytes =
+let trace_drop t ~mid ~src ~dst ~bytes =
   if Trace.enabled () then
     Trace.instant ~ts:(Engine.now t.engine) ~node:src ~cat:"net"
-      ~args:[ ("dst", Trace.I dst); ("bytes", Trace.I bytes) ]
+      ~args:[ ("mid", Trace.I mid); ("dst", Trace.I dst); ("bytes", Trace.I bytes) ]
       "drop";
   if Metrics.enabled () then Metrics.cincr "net.dropped_messages"
 
-let deliver t ~src ~dst ~bytes msg =
+let deliver t ~mid ~src ~dst ~bytes msg =
   if t.crashed.(dst) then begin
     t.dropped_messages <- t.dropped_messages + 1;
-    trace_drop t ~src ~dst ~bytes
+    trace_drop t ~mid ~src ~dst ~bytes
   end
   else
     match t.handlers.(dst) with
     | None ->
         t.dropped_messages <- t.dropped_messages + 1;
-        trace_drop t ~src ~dst ~bytes
+        trace_drop t ~mid ~src ~dst ~bytes
     | Some handler ->
         if Trace.enabled () then
           Trace.instant ~ts:(Engine.now t.engine) ~node:dst ~cat:"net"
-            ~args:[ ("src", Trace.I src); ("bytes", Trace.I bytes) ]
+            ~args:
+              [ ("mid", Trace.I mid); ("src", Trace.I src); ("bytes", Trace.I bytes) ]
             "deliver";
         handler ~src ~bytes msg
 
@@ -101,23 +106,25 @@ let extra_delay_on t ~src ~dst =
 let send t ~src ~dst ~bytes msg =
   check_node t src;
   check_node t dst;
+  let mid = t.next_mid in
+  t.next_mid <- mid + 1;
   let loss = loss_on t ~src ~dst in
   if t.crashed.(src) || Hashtbl.mem t.blocked (src, dst) then begin
     t.dropped_messages <- t.dropped_messages + 1;
-    trace_drop t ~src ~dst ~bytes
+    trace_drop t ~mid ~src ~dst ~bytes
   end
   else if loss > 0.0 && Rng.bool t.rng ~p:loss then begin
     t.sent_messages <- t.sent_messages + 1;
     t.sent_bytes <- t.sent_bytes + bytes;
     t.dropped_messages <- t.dropped_messages + 1;
-    trace_drop t ~src ~dst ~bytes
+    trace_drop t ~mid ~src ~dst ~bytes
   end
   else begin
     t.sent_messages <- t.sent_messages + 1;
     t.sent_bytes <- t.sent_bytes + bytes;
     if Trace.enabled () then
       Trace.instant ~ts:(Engine.now t.engine) ~node:src ~cat:"net"
-        ~args:[ ("dst", Trace.I dst); ("bytes", Trace.I bytes) ]
+        ~args:[ ("mid", Trace.I mid); ("dst", Trace.I dst); ("bytes", Trace.I bytes) ]
         "send";
     if Metrics.enabled () then begin
       Metrics.cincr "net.sent_messages";
@@ -141,7 +148,7 @@ let send t ~src ~dst ~bytes msg =
     in
     ignore
       (Engine.schedule t.engine ~delay:(arrival -. now) (fun () ->
-           deliver t ~src ~dst ~bytes msg))
+           deliver t ~mid ~src ~dst ~bytes msg))
   end
 
 let crash t id =

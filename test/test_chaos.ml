@@ -245,6 +245,69 @@ let test_broken_protocol_caught_and_minimized () =
       Alcotest.(check bool) "minimal schedule reproduces" true
         (o'.Ch.violation <> None)
 
+(* With a trace sink installed, the same violation additionally yields a
+   forensic report: the implicated slot, the cross-replica divergence the
+   equivocation caused, the fault actions in play — and the whole report
+   is byte-identical across same-seed runs. *)
+
+module An = Poe_analysis
+
+let contains hay needle =
+  let h = String.length hay and n = String.length needle in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+let test_forensics_on_violation () =
+  let module Ch = Runner.Make (Broken) in
+  let params = Ch.default_params ~seed:1 ~n:4 in
+  let once () =
+    let tr = Poe_obs.Trace.create () in
+    Poe_obs.Trace.set tr;
+    Fun.protect ~finally:Poe_obs.Trace.clear (fun () ->
+        Ch.run ~horizon:1.2 ~drain:0.6 ~params ~schedule:broken_schedule ())
+  in
+  let o = once () in
+  (match o.Ch.violation with
+  | None -> Alcotest.fail "equivocating primary not caught"
+  | Some _ -> ());
+  match o.Ch.forensics with
+  | None -> Alcotest.fail "violation with a sink installed but no forensics"
+  | Some f ->
+      Alcotest.(check string) "invariant" "prefix-agreement"
+        f.An.Forensics.invariant;
+      Alcotest.(check bool) "implicates at least one slot" true
+        (f.An.Forensics.slots <> []);
+      (match f.An.Forensics.divergence with
+      | None -> Alcotest.fail "no divergence point found in trace"
+      | Some d ->
+          Alcotest.(check bool) "divergent digests differ" true
+            (d.An.Forensics.d_digest_a <> d.An.Forensics.d_digest_b);
+          Alcotest.(check bool) "forged digest visible" true
+            (contains d.An.Forensics.d_digest_a "!forged"
+            || contains d.An.Forensics.d_digest_b "!forged"));
+      Alcotest.(check bool) "fault-schedule actions recorded" true
+        (f.An.Forensics.faults <> []);
+      Alcotest.(check bool) "byzantine flip among recorded faults" true
+        (List.exists
+           (fun (fa : An.Forensics.fault) ->
+             fa.An.Forensics.f_action = "chaos_set_byzantine")
+           f.An.Forensics.faults);
+      let text = An.Report.forensics_to_string f in
+      Alcotest.(check bool) "report names a violating slot" true
+        (List.exists
+           (fun s -> contains text (Printf.sprintf "slot %d" s))
+           f.An.Forensics.slots
+        || contains text "implicated slots:");
+      Alcotest.(check bool) "report shows the causal timeline" true
+        (contains text "causal timeline");
+      (* Same seed, same schedule: the forensic report is byte-identical. *)
+      let o' = once () in
+      (match o'.Ch.forensics with
+      | None -> Alcotest.fail "second run lost its forensics"
+      | Some f' ->
+          Alcotest.(check string) "byte-identical forensic report" text
+            (An.Report.forensics_to_string f'))
+
 let () =
   Alcotest.run "chaos"
     [
@@ -270,5 +333,7 @@ let () =
         [
           Alcotest.test_case "caught mid-run and minimized" `Quick
             test_broken_protocol_caught_and_minimized;
+          Alcotest.test_case "forensic report on violation" `Quick
+            test_forensics_on_violation;
         ] );
     ]
