@@ -21,7 +21,12 @@
      BENCH_QUICK      - if set, restricts replica counts and batch sweeps so
                         the whole run finishes in a couple of minutes
      BENCH_SKIP_MICRO - if set, skip the Bechamel section
-     BENCH_JSON_DIR   - directory for the BENCH_*.json files (default "."). *)
+     BENCH_JSON_DIR   - directory for the BENCH_*.json files (default ".")
+     POE_JOBS         - worker domains for the experiment grids (default
+                        min 4 (cores - 1); 1 = sequential). Each grid point
+                        is an independent simulation, reassembled in
+                        submission order, so all BENCH_*.json output is
+                        byte-identical across job counts. *)
 
 module E = Poe_harness.Experiments
 module Sha256 = Poe_crypto.Sha256
@@ -45,6 +50,7 @@ let clients_per_hub =
 let ns = if quick then [ 4; 16; 32 ] else [ 4; 16; 32; 64; 91 ]
 let batch_sizes = if quick then [ 10; 100; 400 ] else [ 10; 50; 100; 200; 400 ]
 let fig11_ns = if quick then [ 4; 16 ] else [ 4; 16; 128 ]
+let jobs = Poe_parallel.Pool.default_jobs ()
 
 (* ------------------------------------------------------------------ *)
 (* Part 1: micro-benchmarks                                            *)
@@ -153,33 +159,33 @@ let fig1 () =
      phases O(3n); pbft 3 phases O(n+2n^2); sbft 5 linear phases O(5n);@.\
      hotstuff chained TS rounds. Measured traffic also includes client@.\
      requests, responses and checkpoints:@.@.";
-  show (E.fig1_message_census ~scale ())
+  show (E.fig1_message_census ~scale ~jobs ())
 
 let fig7 () =
   section "Fig. 7: upper bound without consensus";
-  show (E.fig7_upper_bound ~scale ())
+  show (E.fig7_upper_bound ~scale ~jobs ())
 
 let fig8 () =
   section "Fig. 8: signature schemes (PBFT, n=16)";
-  show (E.fig8_signatures ~scale ())
+  show (E.fig8_signatures ~scale ~jobs ())
 
 let fig9 () =
   section "Fig. 9(a,b): scalability, standard payload, single backup failure";
-  show (E.fig9_scalability ~scale ~clients_per_hub ~ns E.Standard_failure);
+  show (E.fig9_scalability ~scale ~clients_per_hub ~ns ~jobs E.Standard_failure);
   section "Fig. 9(c,d): scalability, standard payload, no failures";
-  show (E.fig9_scalability ~scale ~clients_per_hub ~ns E.Standard_nofail);
+  show (E.fig9_scalability ~scale ~clients_per_hub ~ns ~jobs E.Standard_nofail);
   section "Fig. 9(e,f): zero payload, single backup failure";
-  show (E.fig9_scalability ~scale ~clients_per_hub ~ns E.Zero_failure);
+  show (E.fig9_scalability ~scale ~clients_per_hub ~ns ~jobs E.Zero_failure);
   section "Fig. 9(g,h): zero payload, no failures";
-  show (E.fig9_scalability ~scale ~clients_per_hub ~ns E.Zero_nofail);
+  show (E.fig9_scalability ~scale ~clients_per_hub ~ns ~jobs E.Zero_nofail);
   section "Fig. 9(i,j): batching under a single backup failure (n=32)";
-  show (E.fig9_batching ~scale ~clients_per_hub ~batch_sizes ());
+  show (E.fig9_batching ~scale ~clients_per_hub ~batch_sizes ~jobs ());
   section "Fig. 9(k,l): out-of-order processing disabled";
-  show (E.fig9_no_ooo ~scale ~ns ())
+  show (E.fig9_no_ooo ~scale ~ns ~jobs ())
 
 let fig10 () =
   section "Fig. 10: throughput timeline across a primary crash (n=32)";
-  let timelines = E.fig10_view_change ~scale () in
+  let timelines = E.fig10_view_change ~scale ~jobs () in
   List.iter
     (fun (name, series) ->
       Format.fprintf fmt "%s:@." name;
@@ -208,9 +214,9 @@ let fig10 () =
 
 let fig11 () =
   section "Fig. 11: simulated decisions vs message delay (sequential)";
-  show (E.fig11_simulation ~ns:fig11_ns ());
+  show (E.fig11_simulation ~ns:fig11_ns ~jobs ());
   section "Fig. 11 (right): with out-of-order processing, window 250";
-  show { (E.fig11_simulation ~out_of_order:true ~ns:fig11_ns ()) with
+  show { (E.fig11_simulation ~out_of_order:true ~ns:fig11_ns ~jobs ()) with
          E.figure = "fig11_ooo" }
 
 (* ------------------------------------------------------------------ *)
@@ -253,7 +259,12 @@ let phase_breakdowns () =
         C.run c);
     !breakdowns
   in
-  let breakdowns = List.concat_map run_one E.all_protocols in
+  (* Each traced mini-run installs its sink via [instrumented], which is
+     domain-local — so the five protocols can run concurrently, each
+     tracing into its own ring. *)
+  let breakdowns =
+    List.concat (Poe_parallel.Pool.map_list ~jobs run_one E.all_protocols)
+  in
   print_string (An.Report.breakdowns_to_string breakdowns);
   let path = Filename.concat json_dir "BENCH_phases.json" in
   An.Report.write_string path (An.Report.breakdowns_json breakdowns);
@@ -261,9 +272,11 @@ let phase_breakdowns () =
 
 let () =
   Printf.printf
-    "PoE reproduction bench (scale=%.2f%s) — one section per paper figure\n\n%!"
+    "PoE reproduction bench (scale=%.2f%s, jobs=%d) — one section per paper \
+     figure\n\n%!"
     scale
-    (if quick then ", quick" else "");
+    (if quick then ", quick" else "")
+    jobs;
   if Sys.getenv_opt "BENCH_SKIP_MICRO" = None then microbenchmarks ();
   phase_breakdowns ();
   fig1 ();

@@ -136,6 +136,32 @@ let report_file =
 let obs_args trace_file trace_format =
   Option.map (fun path -> (trace_format, path)) trace_file
 
+(* A strictly positive int, rejected at parse time with a proper usage
+   error rather than an uncaught exception mid-run. *)
+let pos_int : int Arg.conv =
+  let parse s =
+    match int_of_string_opt s with
+    | Some v when v >= 1 -> Ok v
+    | _ -> Error (`Msg "must be a positive integer")
+  in
+  Arg.conv (parse, Format.pp_print_int)
+
+let jobs_arg =
+  Arg.(
+    value
+    & opt (some pos_int) None
+    & info [ "j"; "jobs" ] ~docv:"J"
+        ~doc:
+          "Worker domains for independent simulation jobs (sweeps, \
+           experiment grid points). Default: the POE_JOBS environment \
+           variable, else min 4 (cores - 1). $(docv) = 1 runs everything \
+           sequentially in this domain; results are identical for any \
+           value.")
+
+let resolve_jobs = function
+  | Some j -> j
+  | None -> Poe_parallel.Pool.default_jobs ()
+
 let run_cmd =
   let run protocol n batch_size clients zero crash_backup crash_primary_at
       no_ooo duration seed trace_file trace_format metrics report =
@@ -236,9 +262,21 @@ let minimize_flag =
           "On a violation, greedily shrink the failing schedule to a \
            minimal reproducer before reporting it.")
 
+let sweep_arg =
+  Arg.(
+    value
+    & opt (some pos_int) None
+    & info [ "sweep" ] ~docv:"S"
+        ~doc:
+          "Run $(docv) seeded chaos schedules (seeds derived from --seed \
+           exactly like --rounds) fanned out over --jobs worker domains, \
+           with violations reported per seed. Verdicts are byte-identical \
+           to --jobs 1. Overrides --rounds; --trace is not available in \
+           this mode (each job traces into its own domain-local ring).")
+
 let chaos_cmd =
-  let run protocol seed rounds n minimize trace_file trace_format metrics
-      report =
+  let run protocol seed rounds sweep jobs n minimize trace_file trace_format
+      metrics report =
     let (module P : R.Protocol_intf.S) =
       match protocol with
       | E.Poe -> (module Poe_core.Poe_protocol)
@@ -248,6 +286,73 @@ let chaos_cmd =
       | E.Hotstuff -> (module Poe_hotstuff.Hotstuff_protocol)
     in
     let module Ch = Poe_chaos.Runner.Make (P) in
+    (* Shared per-outcome reporting: schedule, verdict, forensics, and an
+       optional minimization pass (always sequential, after the fact). *)
+    let report_outcome ~label ~round_seed ~forensic_log ~violations ~minimize
+        (outcome : Ch.outcome) =
+      Format.printf "%s seed %d schedule:@.%a" label round_seed
+        Poe_chaos.Schedule.pp outcome.Ch.schedule;
+      (match outcome.Ch.violation with
+      | None ->
+          Format.printf "%s seed %d: ok (%d requests, %d samples, t=%.2fs)@."
+            label round_seed outcome.Ch.completed outcome.Ch.samples
+            outcome.Ch.final_time
+      | Some v ->
+          incr violations;
+          Format.printf "%s seed %d: VIOLATION %a@." label round_seed
+            Poe_chaos.Auditor.pp_violation v;
+          (match outcome.Ch.forensics with
+          | Some f ->
+              let text = An.Report.forensics_to_string f in
+              Buffer.add_string forensic_log
+                (Printf.sprintf "%s seed %d\n%s\n" label round_seed text);
+              print_string text
+          | None -> ());
+          if minimize then begin
+            let params = Ch.default_params ~seed:round_seed ~n in
+            let minimal, oracle_runs =
+              Ch.minimize ~params ~schedule:outcome.Ch.schedule
+                ~violation_at:v.Poe_chaos.Auditor.at ()
+            in
+            Format.printf
+              "minimal reproducer (%d action(s), %d oracle runs):@.%a"
+              (List.length minimal) oracle_runs Poe_chaos.Schedule.pp minimal
+          end);
+      Format.printf "@."
+    in
+    match sweep with
+    | Some s ->
+        if trace_file <> None then
+          Format.eprintf
+            "chaos --sweep: note: --trace is ignored; each job traces into \
+             its own domain-local ring@.";
+        let jobs = resolve_jobs jobs in
+        (* Same seed derivation as --rounds, so `--sweep S` covers exactly
+           the seeds `--rounds S` would, and any seed replays alone. *)
+        let seeds = List.init s (fun i -> seed + (7919 * i)) in
+        let outcomes = Ch.run_sweep ~n ~jobs ~seeds () in
+        let forensic_log = Buffer.create 1024 in
+        let violations = ref 0 in
+        List.iteri
+          (fun i (round_seed, outcome) ->
+            report_outcome
+              ~label:(Printf.sprintf "sweep %d" i)
+              ~round_seed ~forensic_log ~violations ~minimize outcome)
+          outcomes;
+        (match report with
+        | Some path ->
+            let content =
+              if Buffer.length forensic_log = 0 then
+                "no safety violations: no forensic report\n"
+              else Buffer.contents forensic_log
+            in
+            An.Report.write_string path content;
+            Format.printf "forensic report -> %s@." path
+        | None -> ());
+        Format.printf "chaos: protocol=%s sweep=%d jobs=%d violations=%d@."
+          P.name s jobs !violations;
+        if !violations > 0 then exit 1
+    | None ->
     (* Forensic reports accumulate here across rounds; --report writes
        them out at the end (and forces a trace sink so the runner can
        produce them even without --trace). *)
@@ -276,38 +381,9 @@ let chaos_cmd =
                be replayed alone. *)
             let round_seed = seed + (7919 * i) in
             let outcome = Ch.run_seed ~n ~seed:round_seed () in
-            Format.printf "round %d seed %d schedule:@.%a" i round_seed
-              Poe_chaos.Schedule.pp outcome.Ch.schedule;
-            (match outcome.Ch.violation with
-            | None ->
-                Format.printf
-                  "round %d seed %d: ok (%d requests, %d samples, t=%.2fs)@."
-                  i round_seed outcome.Ch.completed outcome.Ch.samples
-                  outcome.Ch.final_time
-            | Some v ->
-                incr violations;
-                Format.printf "round %d seed %d: VIOLATION %a@." i round_seed
-                  Poe_chaos.Auditor.pp_violation v;
-                (match outcome.Ch.forensics with
-                | Some f ->
-                    let text = An.Report.forensics_to_string f in
-                    Buffer.add_string forensic_log
-                      (Printf.sprintf "round %d seed %d\n%s\n" i round_seed
-                         text);
-                    print_string text
-                | None -> ());
-                if minimize then begin
-                  let params = Ch.default_params ~seed:round_seed ~n in
-                  let minimal, oracle_runs =
-                    Ch.minimize ~params ~schedule:outcome.Ch.schedule
-                      ~violation_at:v.Poe_chaos.Auditor.at ()
-                  in
-                  Format.printf
-                    "minimal reproducer (%d action(s), %d oracle runs):@.%a"
-                    (List.length minimal) oracle_runs Poe_chaos.Schedule.pp
-                    minimal
-                end);
-            Format.printf "@."
+            report_outcome
+              ~label:(Printf.sprintf "round %d" i)
+              ~round_seed ~forensic_log ~violations ~minimize outcome
           done;
           !violations)
     in
@@ -325,8 +401,9 @@ let chaos_cmd =
           slots, divergence point, fault intersection and the causal \
           timeline across replicas.")
     Term.(
-      const run $ protocol $ seed $ chaos_rounds $ chaos_n $ minimize_flag
-      $ trace_file $ trace_format $ metrics_flag $ report_file)
+      const run $ protocol $ seed $ chaos_rounds $ sweep_arg $ jobs_arg
+      $ chaos_n $ minimize_flag $ trace_file $ trace_format $ metrics_flag
+      $ report_file)
 
 (* ------------------------------------------------------------------ *)
 (* poe_sim analyze                                                     *)
@@ -393,43 +470,48 @@ let analyze_cmd =
           that bounded one slot.")
     Term.(ret (const run $ trace_arg $ json_out $ slot_arg $ node_arg))
 
-let experiments : (string * string * (float -> unit)) list =
+let experiments : (string * string * (jobs:int -> float -> unit)) list =
   let fmt = Format.std_formatter in
   [
     ( "fig1",
       "message census per protocol (Fig. 1's table, measured)",
-      fun scale -> E.print_series fmt (E.fig1_message_census ~scale ()) );
+      fun ~jobs scale ->
+        E.print_series fmt (E.fig1_message_census ~scale ~jobs ()) );
     ( "fig7",
       "upper bound without consensus (Fig. 7)",
-      fun scale -> E.print_series fmt (E.fig7_upper_bound ~scale ()) );
+      fun ~jobs scale -> E.print_series fmt (E.fig7_upper_bound ~scale ~jobs ())
+    );
     ( "fig8",
       "signature schemes, PBFT n=16 (Fig. 8)",
-      fun scale -> E.print_series fmt (E.fig8_signatures ~scale ()) );
+      fun ~jobs scale -> E.print_series fmt (E.fig8_signatures ~scale ~jobs ())
+    );
     ( "fig9ab",
       "scalability, standard payload, single backup failure (Fig. 9a,b)",
-      fun scale ->
-        E.print_series fmt (E.fig9_scalability ~scale E.Standard_failure) );
+      fun ~jobs scale ->
+        E.print_series fmt (E.fig9_scalability ~scale ~jobs E.Standard_failure)
+    );
     ( "fig9cd",
       "scalability, standard payload, no failures (Fig. 9c,d)",
-      fun scale ->
-        E.print_series fmt (E.fig9_scalability ~scale E.Standard_nofail) );
+      fun ~jobs scale ->
+        E.print_series fmt (E.fig9_scalability ~scale ~jobs E.Standard_nofail)
+    );
     ( "fig9ef",
       "scalability, zero payload, single backup failure (Fig. 9e,f)",
-      fun scale -> E.print_series fmt (E.fig9_scalability ~scale E.Zero_failure)
-    );
+      fun ~jobs scale ->
+        E.print_series fmt (E.fig9_scalability ~scale ~jobs E.Zero_failure) );
     ( "fig9gh",
       "scalability, zero payload, no failures (Fig. 9g,h)",
-      fun scale -> E.print_series fmt (E.fig9_scalability ~scale E.Zero_nofail)
-    );
+      fun ~jobs scale ->
+        E.print_series fmt (E.fig9_scalability ~scale ~jobs E.Zero_nofail) );
     ( "fig9ij",
       "batching under failure, n=32 (Fig. 9i,j)",
-      fun scale -> E.print_series fmt (E.fig9_batching ~scale ()) );
+      fun ~jobs scale -> E.print_series fmt (E.fig9_batching ~scale ~jobs ()) );
     ( "fig9kl",
       "out-of-order disabled (Fig. 9k,l)",
-      fun scale -> E.print_series fmt (E.fig9_no_ooo ~scale ()) );
+      fun ~jobs scale -> E.print_series fmt (E.fig9_no_ooo ~scale ~jobs ()) );
     ( "fig10",
       "view-change throughput timeline (Fig. 10)",
-      fun scale ->
+      fun ~jobs scale ->
         List.iter
           (fun (name, series) ->
             Format.printf "%s:@." name;
@@ -437,13 +519,14 @@ let experiments : (string * string * (float -> unit)) list =
               (fun (t, rate) ->
                 Format.printf "  t=%5.2fs  %10.0f txn/s@." t rate)
               series)
-          (E.fig10_view_change ~scale ()) );
+          (E.fig10_view_change ~scale ~jobs ()) );
     ( "fig11",
       "pure message-delay simulation (Fig. 11, sequential)",
-      fun _ -> E.print_series fmt (E.fig11_simulation ()) );
+      fun ~jobs _ -> E.print_series fmt (E.fig11_simulation ~jobs ()) );
     ( "fig11-ooo",
       "message-delay simulation with out-of-order window 250 (Fig. 11)",
-      fun _ -> E.print_series fmt (E.fig11_simulation ~out_of_order:true ()) );
+      fun ~jobs _ ->
+        E.print_series fmt (E.fig11_simulation ~out_of_order:true ~jobs ()) );
   ]
 
 let experiment_cmd =
@@ -453,13 +536,27 @@ let experiment_cmd =
       & pos 0 (some string) None
       & info [] ~docv:"EXPERIMENT" ~doc:"Experiment id (see $(b,list)).")
   in
-  let run name scale trace_file trace_format metrics =
+  let run name scale jobs trace_file trace_format metrics =
     match List.find_opt (fun (id, _, _) -> id = name) experiments with
     | Some (_, _, f) ->
+        (* Tracing/metrics capture through the domain-local sink of this
+           domain, so an observed run must stay sequential to capture
+           everything — parallel grid points would trace into worker-domain
+           rings that are never exported. *)
+        let jobs =
+          if trace_file <> None || metrics then begin
+            if jobs <> None && jobs <> Some 1 then
+              Format.eprintf
+                "experiment: --trace/--metrics force --jobs 1 (observed \
+                 runs are sequential)@.";
+            1
+          end
+          else resolve_jobs jobs
+        in
         E.instrumented
           ?trace:(obs_args trace_file trace_format)
           ~metrics
-          (fun () -> f scale);
+          (fun () -> f ~jobs scale);
         `Ok ()
     | None ->
         `Error
@@ -469,7 +566,7 @@ let experiment_cmd =
     (Cmd.info "experiment" ~doc:"Regenerate one of the paper's figures.")
     Term.(
       ret
-        (const run $ name_arg $ scale $ trace_file $ trace_format
+        (const run $ name_arg $ scale $ jobs_arg $ trace_file $ trace_format
        $ metrics_flag))
 
 let list_cmd =

@@ -223,6 +223,24 @@ module Make (P : R.Protocol_intf.S) = struct
     in
     run ~horizon:horizon_v ?drain ~params ~schedule ()
 
+  (* Parallel sweep. Each seed is an independent job: it builds its own
+     cluster, auditor and disconnected-set, and installs its own
+     domain-local trace sink (saving and restoring whatever sink the
+     executing domain had) so forensics on a violation read only that
+     job's events. Results come back in seed order, so the sweep's
+     verdicts are identical for any job count. *)
+  let run_sweep ?profile ?(n = 4) ?horizon ?drain ?(jobs = 1) ~seeds () =
+    let one seed =
+      let saved = Trace.sink () in
+      let restore () =
+        match saved with Some tr -> Trace.set tr | None -> Trace.clear ()
+      in
+      Trace.set (Trace.create ());
+      Fun.protect ~finally:restore (fun () ->
+          (seed, run_seed ?profile ~n ?horizon ?drain ~seed ()))
+    in
+    Poe_parallel.Pool.map_list ~jobs one seeds
+
   (* Greedy schedule minimization. Entries after the violation never ran,
      so they are dropped without an oracle call; then single entries are
      removed left-to-right, restarting after every success, as long as a

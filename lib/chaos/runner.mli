@@ -57,6 +57,24 @@ module Make (P : Poe_runtime.Protocol_intf.S) : sig
       {!Generator.byzantine_ok} for this protocol) and run it on
       [default_params ~seed]. *)
 
+  val run_sweep :
+    ?profile:Generator.profile ->
+    ?n:int ->
+    ?horizon:float ->
+    ?drain:float ->
+    ?jobs:int ->
+    seeds:int list ->
+    unit ->
+    (int * outcome) list
+  (** Run one {!run_seed} per seed, fanned out over a
+      {!Poe_parallel.Pool} of [jobs] domains (default 1 = sequential in
+      the calling domain). Every job installs its own domain-local trace
+      sink for the duration of its run — so each outcome carries
+      forensics on violation regardless of any caller-installed sink,
+      which is saved and restored around sequential jobs. Outcomes are
+      returned in [seeds] order; verdicts are byte-identical for any
+      [jobs] value. *)
+
   val minimize :
     ?max_runs:int ->
     ?horizon:float ->

@@ -1,10 +1,28 @@
 type node = Replica of int | Client of int
 
-type t = { n_replicas : int; n_clients : int; seed : string }
+(* Derived keys are cached together with their HMAC-prepared padded-block
+   midstates, so a channel's first message pays the derivation (one HMAC
+   under the master seed) and two key-pad compressions, and every later
+   message under the same key pays neither. The caches are plain Hashtbls:
+   a keychain belongs to one cluster, which lives entirely in one domain —
+   parallel sweep jobs each build their own cluster and keychain. *)
+type t = {
+  n_replicas : int;
+  n_clients : int;
+  master : Hmac.prepared;  (* the seed, prepared for key derivation *)
+  pair_cache : (string * string, Hmac.prepared) Hashtbl.t;
+  id_cache : (string, Hmac.prepared) Hashtbl.t;
+}
 
 let create ~n_replicas ~n_clients ~seed =
   if n_replicas < 0 || n_clients < 0 then invalid_arg "Keychain.create";
-  { n_replicas; n_clients; seed }
+  {
+    n_replicas;
+    n_clients;
+    master = Hmac.prepare ~key:seed;
+    pair_cache = Hashtbl.create 64;
+    id_cache = Hashtbl.create 64;
+  }
 
 let n_replicas t = t.n_replicas
 let n_clients t = t.n_clients
@@ -21,28 +39,42 @@ let validate t node =
 
 (* The pairwise key is symmetric in its endpoints so both directions share
    it, as with a Diffie-Hellman-agreed channel key. Keys are derived from
-   the master seed rather than stored: the keychain stays O(1) in space even
-   for the paper's 320k-client configurations. *)
-let pair_key t a b =
+   the master seed rather than stored up front: the keychain stays small
+   even for the paper's 320k-client configurations, growing only with the
+   channels actually used. *)
+let pair_prepared t a b =
   validate t a;
   validate t b;
   let ta = node_tag a and tb = node_tag b in
   let lo, hi = if ta <= tb then (ta, tb) else (tb, ta) in
-  Hmac.mac ~key:t.seed ("pair|" ^ lo ^ "|" ^ hi)
+  match Hashtbl.find_opt t.pair_cache (lo, hi) with
+  | Some p -> p
+  | None ->
+      let key = Hmac.mac_prepared t.master ("pair|" ^ lo ^ "|" ^ hi) in
+      let p = Hmac.prepare ~key in
+      Hashtbl.add t.pair_cache (lo, hi) p;
+      p
 
-let identity_key t node =
+let identity_prepared t node =
   validate t node;
-  Hmac.mac ~key:t.seed ("id|" ^ node_tag node)
+  let tag = node_tag node in
+  match Hashtbl.find_opt t.id_cache tag with
+  | Some p -> p
+  | None ->
+      let key = Hmac.mac_prepared t.master ("id|" ^ tag) in
+      let p = Hmac.prepare ~key in
+      Hashtbl.add t.id_cache tag p;
+      p
 
-let mac t ~src ~dst msg = Hmac.mac ~key:(pair_key t src dst) msg
+let mac t ~src ~dst msg = Hmac.mac_prepared (pair_prepared t src dst) msg
 
 let check_mac t ~src ~dst msg ~tag =
-  Hmac.verify ~key:(pair_key t src dst) msg ~tag
+  Hmac.verify_prepared (pair_prepared t src dst) msg ~tag
 
-let sign t ~signer msg = Hmac.mac ~key:(identity_key t signer) msg
+let sign t ~signer msg = Hmac.mac_prepared (identity_prepared t signer) msg
 
 let check_sign t ~signer msg ~tag =
-  Hmac.verify ~key:(identity_key t signer) msg ~tag
+  Hmac.verify_prepared (identity_prepared t signer) msg ~tag
 
 let node_equal a b =
   match (a, b) with

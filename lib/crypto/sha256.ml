@@ -1,5 +1,9 @@
 (* SHA-256 per FIPS 180-4. 32-bit words are kept in native ints masked to 32
-   bits; OCaml's 63-bit ints make the arithmetic straightforward. *)
+   bits; OCaml's 63-bit ints make the arithmetic straightforward.
+
+   The hot path is allocation-free: [feed] compresses whole 64-byte blocks
+   straight out of the input string (no staging buffer), and [finalize] pads
+   in place inside the context's block buffer. *)
 
 let digest_size = 32
 
@@ -27,13 +31,14 @@ type ctx = {
   w : int array;              (* 64-entry message schedule, reused *)
 }
 
+let iv = [|
+  0x6a09e667; 0xbb67ae85; 0x3c6ef372; 0xa54ff53a; 0x510e527f; 0x9b05688c;
+  0x1f83d9ab; 0x5be0cd19;
+|]
+
 let init () =
   {
-    h =
-      [|
-        0x6a09e667; 0xbb67ae85; 0x3c6ef372; 0xa54ff53a; 0x510e527f;
-        0x9b05688c; 0x1f83d9ab; 0x5be0cd19;
-      |];
+    h = Array.copy iv;
     buf = Bytes.create 64;
     buf_len = 0;
     total = 0;
@@ -42,16 +47,9 @@ let init () =
 
 let rotr x n = ((x lsr n) lor (x lsl (32 - n))) land mask
 
-let compress ctx block off =
+(* The 64 rounds over an already-loaded schedule [ctx.w]. *)
+let rounds ctx =
   let w = ctx.w in
-  for i = 0 to 15 do
-    let j = off + (i * 4) in
-    w.(i) <-
-      (Char.code (Bytes.get block j) lsl 24)
-      lor (Char.code (Bytes.get block (j + 1)) lsl 16)
-      lor (Char.code (Bytes.get block (j + 2)) lsl 8)
-      lor Char.code (Bytes.get block (j + 3))
-  done;
   for i = 16 to 63 do
     let s0 =
       rotr w.(i - 15) 7 lxor rotr w.(i - 15) 18 lxor (w.(i - 15) lsr 3)
@@ -89,6 +87,30 @@ let compress ctx block off =
   h.(6) <- (h.(6) + !g) land mask;
   h.(7) <- (h.(7) + !hh) land mask
 
+let compress_bytes ctx block off =
+  let w = ctx.w in
+  for i = 0 to 15 do
+    let j = off + (i * 4) in
+    w.(i) <-
+      (Char.code (Bytes.unsafe_get block j) lsl 24)
+      lor (Char.code (Bytes.unsafe_get block (j + 1)) lsl 16)
+      lor (Char.code (Bytes.unsafe_get block (j + 2)) lsl 8)
+      lor Char.code (Bytes.unsafe_get block (j + 3))
+  done;
+  rounds ctx
+
+let compress_string ctx s off =
+  let w = ctx.w in
+  for i = 0 to 15 do
+    let j = off + (i * 4) in
+    w.(i) <-
+      (Char.code (String.unsafe_get s j) lsl 24)
+      lor (Char.code (String.unsafe_get s (j + 1)) lsl 16)
+      lor (Char.code (String.unsafe_get s (j + 2)) lsl 8)
+      lor Char.code (String.unsafe_get s (j + 3))
+  done;
+  rounds ctx
+
 let feed ctx s =
   let len = String.length s in
   ctx.total <- ctx.total + len;
@@ -100,15 +122,13 @@ let feed ctx s =
     ctx.buf_len <- ctx.buf_len + take;
     pos := take;
     if ctx.buf_len = 64 then begin
-      compress ctx ctx.buf 0;
+      compress_bytes ctx ctx.buf 0;
       ctx.buf_len <- 0
     end
   end;
-  (* Whole blocks straight from the input. *)
-  let tmp = Bytes.create 64 in
+  (* Whole blocks straight from the input — no staging copy. *)
   while len - !pos >= 64 do
-    Bytes.blit_string s !pos tmp 0 64;
-    compress ctx tmp 0;
+    compress_string ctx s !pos;
     pos := !pos + 64
   done;
   (* Stash the tail. *)
@@ -120,20 +140,21 @@ let feed ctx s =
 
 let finalize ctx =
   let bits = ctx.total * 8 in
-  (* Padding: 0x80, zeros, then the 64-bit big-endian length. *)
-  let pad_len =
-    let rem = (ctx.total + 1 + 8) mod 64 in
-    if rem = 0 then 1 else 1 + (64 - rem)
-  in
-  let pad = Bytes.make (pad_len + 8) '\000' in
-  Bytes.set pad 0 '\x80';
+  (* Pad in place inside [ctx.buf]: 0x80, zeros, and the 64-bit big-endian
+     bit length in the last 8 bytes of the final block. *)
+  let len = ctx.buf_len in
+  Bytes.set ctx.buf len '\x80';
+  if len + 1 > 56 then begin
+    Bytes.fill ctx.buf (len + 1) (64 - len - 1) '\000';
+    compress_bytes ctx ctx.buf 0;
+    Bytes.fill ctx.buf 0 56 '\000'
+  end
+  else Bytes.fill ctx.buf (len + 1) (56 - len - 1) '\000';
   for i = 0 to 7 do
-    Bytes.set pad
-      (pad_len + i)
-      (Char.chr ((bits lsr ((7 - i) * 8)) land 0xFF))
+    Bytes.set ctx.buf (56 + i) (Char.chr ((bits lsr ((7 - i) * 8)) land 0xFF))
   done;
-  feed ctx (Bytes.to_string pad);
-  assert (ctx.buf_len = 0);
+  compress_bytes ctx ctx.buf 0;
+  ctx.buf_len <- 0;
   let out = Bytes.create 32 in
   for i = 0 to 7 do
     let v = ctx.h.(i) in
@@ -142,7 +163,7 @@ let finalize ctx =
     Bytes.set out ((i * 4) + 2) (Char.chr ((v lsr 8) land 0xFF));
     Bytes.set out ((i * 4) + 3) (Char.chr (v land 0xFF))
   done;
-  Bytes.to_string out
+  Bytes.unsafe_to_string out
 
 let digest s =
   let ctx = init () in
@@ -154,7 +175,36 @@ let digest_list parts =
   List.iter (feed ctx) parts;
   finalize ctx
 
+(* Midstates: the chain value after absorbing exactly one 64-byte block.
+   HMAC's inner/outer padded key blocks are fixed per key, so callers can
+   compress them once and resume per message. *)
+
+type midstate = int array
+
+let midstate_of_block block =
+  if String.length block <> 64 then
+    invalid_arg "Sha256.midstate_of_block: block must be 64 bytes";
+  let ctx = init () in
+  compress_string ctx block 0;
+  ctx.h
+
+let resume ms =
+  {
+    h = Array.copy ms;
+    buf = Bytes.create 64;
+    buf_len = 0;
+    total = 64;
+    w = Array.make 64 0;
+  }
+
+let hex_chars = "0123456789abcdef"
+
 let to_hex s =
-  let buf = Buffer.create (2 * String.length s) in
-  String.iter (fun c -> Buffer.add_string buf (Printf.sprintf "%02x" (Char.code c))) s;
-  Buffer.contents buf
+  let n = String.length s in
+  let out = Bytes.create (2 * n) in
+  for i = 0 to n - 1 do
+    let c = Char.code (String.unsafe_get s i) in
+    Bytes.unsafe_set out (2 * i) (String.unsafe_get hex_chars (c lsr 4));
+    Bytes.unsafe_set out ((2 * i) + 1) (String.unsafe_get hex_chars (c land 0xF))
+  done;
+  Bytes.unsafe_to_string out

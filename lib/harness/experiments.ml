@@ -122,6 +122,19 @@ let run protocol spec =
   run_spec (module P) spec
 
 (* ------------------------------------------------------------------ *)
+(* Parallel fan-out                                                    *)
+
+module Pool = Poe_parallel.Pool
+
+(* Every experiment point is an independent simulation: it builds its own
+   engine (seeded from its config), network and RNG streams, and the
+   observability globals are domain-local — so points can run on a domain
+   pool. Results are reassembled in submission order, which makes the
+   series (and everything serialized from it) byte-identical for any job
+   count; [jobs = 1] is literally [List.map] in the calling domain. *)
+let pmap ~jobs f xs = Pool.map_list ~jobs f xs
+
+(* ------------------------------------------------------------------ *)
 (* Observability                                                       *)
 
 module Trace = Poe_obs.Trace
@@ -186,10 +199,10 @@ let print_series fmt s =
 (* ------------------------------------------------------------------ *)
 (* Fig. 1: message census                                              *)
 
-let fig1_message_census ?(scale = 1.0) () =
+let fig1_message_census ?(scale = 1.0) ?(jobs = 1) () =
   let n = 16 in
   let points =
-    List.map
+    pmap ~jobs
       (fun protocol ->
         let config =
           Config.make ~n
@@ -210,8 +223,8 @@ let fig1_message_census ?(scale = 1.0) () =
 (* ------------------------------------------------------------------ *)
 (* Fig. 7: upper bound                                                 *)
 
-let fig7_upper_bound ?(scale = 1.0) () =
-  let mk execute x =
+let fig7_upper_bound ?(scale = 1.0) ?(jobs = 1) () =
+  let mk (execute, x) =
     let r =
       Upper_bound.run ~measure:(2.0 *. scale) ~execute ()
     in
@@ -229,15 +242,15 @@ let fig7_upper_bound ?(scale = 1.0) () =
     figure = "fig7";
     title = "upper bound: primary only replies to clients (no consensus)";
     x_label = "exec?";
-    points = [ mk false 0.0; mk true 1.0 ];
+    points = pmap ~jobs mk [ (false, 0.0); (true, 1.0) ];
   }
 
 (* ------------------------------------------------------------------ *)
 (* Fig. 8: signature schemes                                           *)
 
-let fig8_signatures ?(scale = 1.0) () =
+let fig8_signatures ?(scale = 1.0) ?(jobs = 1) () =
   let n = 16 in
-  let mk label x ~replica_scheme ~client_scheme =
+  let mk (label, x, replica_scheme, client_scheme) =
     let config =
       Config.make ~n ~replica_scheme ~client_scheme ~clients_per_hub:2500 ()
     in
@@ -249,14 +262,12 @@ let fig8_signatures ?(scale = 1.0) () =
     title = "PBFT under three signature schemes (n=16)";
     x_label = "scheme";
     points =
-      [
-        mk "none" 0.0 ~replica_scheme:Config.Auth_none
-          ~client_scheme:Config.Auth_none;
-        mk "ed" 1.0 ~replica_scheme:Config.Auth_digital
-          ~client_scheme:Config.Auth_digital;
-        mk "cmac" 2.0 ~replica_scheme:Config.Auth_mac
-          ~client_scheme:Config.Auth_digital;
-      ];
+      pmap ~jobs mk
+        [
+          ("none", 0.0, Config.Auth_none, Config.Auth_none);
+          ("ed", 1.0, Config.Auth_digital, Config.Auth_digital);
+          ("cmac", 2.0, Config.Auth_mac, Config.Auth_digital);
+        ];
   }
 
 (* ------------------------------------------------------------------ *)
@@ -271,7 +282,7 @@ let variant_name = function
   | Zero_nofail -> "zero payload, no failures"
 
 let fig9_scalability ?(scale = 1.0) ?(clients_per_hub = 4000)
-    ?(ns = [ 4; 16; 32; 64; 91 ]) variant =
+    ?(ns = [ 4; 16; 32; 64; 91 ]) ?(jobs = 1) variant =
   let payload, crash =
     match variant with
     | Standard_failure -> (Config.Standard, true)
@@ -279,25 +290,25 @@ let fig9_scalability ?(scale = 1.0) ?(clients_per_hub = 4000)
     | Zero_failure -> (Config.Zero, true)
     | Zero_nofail -> (Config.Zero, false)
   in
+  let grid =
+    List.concat_map (fun p -> List.map (fun n -> (p, n)) ns) all_protocols
+  in
   let points =
-    List.concat_map
-      (fun protocol ->
-        List.map
-          (fun n ->
-            let config =
-              Config.make ~n ~payload
-                ~replica_scheme:(scheme_for protocol n)
-                ~clients_per_hub ~request_timeout:0.5 ()
-            in
-            let spec =
-              {
-                (default_spec config ~scale) with
-                crash = (if crash then Some (n - 1) else None);
-              }
-            in
-            { (run protocol spec) with x = float_of_int n })
-          ns)
-      all_protocols
+    pmap ~jobs
+      (fun (protocol, n) ->
+        let config =
+          Config.make ~n ~payload
+            ~replica_scheme:(scheme_for protocol n)
+            ~clients_per_hub ~request_timeout:0.5 ()
+        in
+        let spec =
+          {
+            (default_spec config ~scale) with
+            crash = (if crash then Some (n - 1) else None);
+          }
+        in
+        { (run protocol spec) with x = float_of_int n })
+      grid
   in
   {
     figure =
@@ -315,24 +326,23 @@ let fig9_scalability ?(scale = 1.0) ?(clients_per_hub = 4000)
 (* Fig. 9(i,j): batching under failure                                 *)
 
 let fig9_batching ?(scale = 1.0) ?(clients_per_hub = 4000)
-    ?(batch_sizes = [ 10; 50; 100; 200; 400 ]) () =
+    ?(batch_sizes = [ 10; 50; 100; 200; 400 ]) ?(jobs = 1) () =
   let n = 32 in
-  let points =
-    List.concat_map
-      (fun protocol ->
-        List.map
-          (fun batch_size ->
-            let config =
-              Config.make ~n ~batch_size
-                ~replica_scheme:(scheme_for protocol n)
-                ~clients_per_hub ~request_timeout:0.5 ()
-            in
-            let spec =
-              { (default_spec config ~scale) with crash = Some (n - 1) }
-            in
-            { (run protocol spec) with x = float_of_int batch_size })
-          batch_sizes)
+  let grid =
+    List.concat_map (fun p -> List.map (fun b -> (p, b)) batch_sizes)
       all_protocols
+  in
+  let points =
+    pmap ~jobs
+      (fun (protocol, batch_size) ->
+        let config =
+          Config.make ~n ~batch_size
+            ~replica_scheme:(scheme_for protocol n)
+            ~clients_per_hub ~request_timeout:0.5 ()
+        in
+        let spec = { (default_spec config ~scale) with crash = Some (n - 1) } in
+        { (run protocol spec) with x = float_of_int batch_size })
+      grid
   in
   {
     figure = "fig9ij";
@@ -344,21 +354,21 @@ let fig9_batching ?(scale = 1.0) ?(clients_per_hub = 4000)
 (* ------------------------------------------------------------------ *)
 (* Fig. 9(k,l): out-of-ordering disabled                               *)
 
-let fig9_no_ooo ?(scale = 1.0) ?(ns = [ 4; 16; 32; 64; 91 ]) () =
+let fig9_no_ooo ?(scale = 1.0) ?(ns = [ 4; 16; 32; 64; 91 ]) ?(jobs = 1) () =
+  let grid =
+    List.concat_map (fun p -> List.map (fun n -> (p, n)) ns) all_protocols
+  in
   let points =
-    List.concat_map
-      (fun protocol ->
-        List.map
-          (fun n ->
-            let config =
-              Config.make ~n ~out_of_order:false ~batch_size:1
-                ~replica_scheme:(scheme_for protocol n)
-                ~n_hubs:16 ~clients_per_hub:4 ~batch_delay:0.0005 ()
-            in
-            let spec = default_spec config ~scale in
-            { (run protocol spec) with x = float_of_int n })
-          ns)
-      all_protocols
+    pmap ~jobs
+      (fun (protocol, n) ->
+        let config =
+          Config.make ~n ~out_of_order:false ~batch_size:1
+            ~replica_scheme:(scheme_for protocol n)
+            ~n_hubs:16 ~clients_per_hub:4 ~batch_delay:0.0005 ()
+        in
+        let spec = default_spec config ~scale in
+        { (run protocol spec) with x = float_of_int n })
+      grid
   in
   {
     figure = "fig9kl";
@@ -375,7 +385,7 @@ let fig9_no_ooo ?(scale = 1.0) ?(ns = [ 4; 16; 32; 64; 91 ]) () =
    saturated latency — so a healthy primary is never suspected spuriously.
    Scaled down, the same separation must hold: timeouts well above the
    steady-state latency of the chosen client population. *)
-let fig10_view_change ?(scale = 1.0) ?(clients_per_hub = 500) () =
+let fig10_view_change ?(scale = 1.0) ?(clients_per_hub = 500) ?(jobs = 1) () =
   let n = 32 in
   let total = 5.0 *. scale in
   let crash_at = 2.0 *. scale in
@@ -400,7 +410,7 @@ let fig10_view_change ?(scale = 1.0) ?(clients_per_hub = 500) () =
     ( protocol_name protocol,
       Stats.bucket_series c.C.stats ~bucket:(0.25 *. scale) ~upto:total )
   in
-  [ timeline Poe; timeline Pbft ]
+  pmap ~jobs timeline [ Poe; Pbft ]
 
 (* ------------------------------------------------------------------ *)
 (* Fig. 11: pure message-delay simulation                              *)
@@ -411,7 +421,7 @@ let fig10_view_change ?(scale = 1.0) ?(clients_per_hub = 500) () =
    executed it — before the next is injected; the out-of-order plot
    preloads the primary with all 500 requests under a window of 250. *)
 let fig11_simulation ?(out_of_order = false) ?(ns = [ 4; 16; 128 ])
-    ?(delays_ms = [ 10.; 20.; 40. ]) () =
+    ?(delays_ms = [ 10.; 20.; 40. ]) ?(jobs = 1) () =
   let decisions_target = 500 in
   let protocols = [ Poe; Pbft; Hotstuff ] in
   let run_one protocol n delay_ms =
@@ -503,14 +513,13 @@ let fig11_simulation ?(out_of_order = false) ?(ns = [ 4; 16; 128 ])
       bytes_per_decision = 0.0;
     }
   in
-  let points =
+  let grid =
     List.concat_map
       (fun protocol ->
-        List.concat_map
-          (fun n -> List.map (run_one protocol n) delays_ms)
-          ns)
+        List.concat_map (fun n -> List.map (fun d -> (protocol, n, d)) delays_ms) ns)
       protocols
   in
+  let points = pmap ~jobs (fun (p, n, d) -> run_one p n d) grid in
   {
     figure = (if out_of_order then "fig11-ooo" else "fig11");
     title =

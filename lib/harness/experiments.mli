@@ -48,43 +48,56 @@ val instrumented :
     (uninstalled) sink after [f] returns — this is how [--report] runs
     analysis without also writing a raw trace file. *)
 
-(** {1 The experiments} *)
+(** {1 The experiments}
 
-val fig1_message_census : ?scale:float -> unit -> series
+    Every runner accepts [?jobs] (default 1): with [jobs > 1] the
+    independent grid points (one simulation each) are fanned out over a
+    {!Poe_parallel.Pool} of that many domains. Results are reassembled
+    in submission order and each point seeds its own engine and RNG
+    streams, so the returned series — and anything serialized from it —
+    is byte-identical for every job count; [jobs = 1] is the plain
+    sequential path in the calling domain. Note that with [jobs > 1]
+    the points run in worker domains, whose trace/metrics state is
+    domain-local: a sink installed by {!instrumented} in the calling
+    domain does not capture them. *)
+
+val fig1_message_census : ?scale:float -> ?jobs:int -> unit -> series
 (** Fig. 1's table, measured: consensus messages per decision for each
     protocol at n=16 with a good primary (the paper's analytic counts are
     printed alongside by the bench driver). *)
 
-val fig7_upper_bound : ?scale:float -> unit -> series
+val fig7_upper_bound : ?scale:float -> ?jobs:int -> unit -> series
 (** System characterization: no-consensus throughput/latency, without and
     with execution. [x] is 0 (no exec) or 1 (exec). *)
 
-val fig8_signatures : ?scale:float -> unit -> series
+val fig8_signatures : ?scale:float -> ?jobs:int -> unit -> series
 (** PBFT at n=16 under None / ED / CMAC signature schemes
     ([x] = 0, 1, 2 respectively). *)
 
 type fig9_variant = Standard_failure | Standard_nofail | Zero_failure | Zero_nofail
 
 val fig9_scalability :
-  ?scale:float -> ?clients_per_hub:int -> ?ns:int list -> fig9_variant -> series
+  ?scale:float -> ?clients_per_hub:int -> ?ns:int list -> ?jobs:int ->
+  fig9_variant -> series
 (** Fig. 9(a-h): throughput and latency while scaling replicas, under
     standard/zero payload × single-backup-failure/no-failure. *)
 
 val fig9_batching :
-  ?scale:float -> ?clients_per_hub:int -> ?batch_sizes:int list -> unit -> series
+  ?scale:float -> ?clients_per_hub:int -> ?batch_sizes:int list -> ?jobs:int ->
+  unit -> series
 (** Fig. 9(i,j): n=32, one crashed backup, batch size swept. *)
 
-val fig9_no_ooo : ?scale:float -> ?ns:int list -> unit -> series
+val fig9_no_ooo : ?scale:float -> ?ns:int list -> ?jobs:int -> unit -> series
 (** Fig. 9(k,l): out-of-order processing disabled (sequential window). *)
 
 val fig10_view_change :
-  ?scale:float -> ?clients_per_hub:int -> unit ->
+  ?scale:float -> ?clients_per_hub:int -> ?jobs:int -> unit ->
   (string * (float * float) list) list
 (** Fig. 10: throughput timeline (1 s buckets) for PoE and PBFT with the
     primary crashing mid-run; returns [(protocol, (time, txn/s) list)]. *)
 
 val fig11_simulation : ?out_of_order:bool -> ?ns:int list ->
-  ?delays_ms:float list -> unit -> series
+  ?delays_ms:float list -> ?jobs:int -> unit -> series
 (** Fig. 11: the paper's pure-message-delay simulation — 500 consensus
     decisions, zero computational cost, fixed delay; [x] is the delay in
     ms and [decisions] the metric of interest. With [out_of_order] the

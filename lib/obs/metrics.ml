@@ -96,19 +96,25 @@ let quantile h q =
 (* ------------------------------------------------------------------ *)
 (* Current registry                                                    *)
 
-let current : t option ref = ref None
+(* Domain-local for the same reason as [Trace.current]: parallel
+   simulation jobs must not share (and race on) one registry. *)
+let current_key : t option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
 
-let set_current t = current := Some t
-let clear_current () = current := None
-let enabled () = !current <> None
+let current () = Domain.DLS.get current_key
+
+let set_current t = current () := Some t
+let clear_current () = current () := None
+let enabled () = !(current ()) <> None
 
 let cincr ?by name =
-  match !current with None -> () | Some t -> incr ?by (counter t name)
+  match !(current ()) with None -> () | Some t -> incr ?by (counter t name)
 
-let gset name v = match !current with None -> () | Some t -> set (gauge t name) v
+let gset name v =
+  match !(current ()) with None -> () | Some t -> set (gauge t name) v
 
 let hobs name v =
-  match !current with None -> () | Some t -> observe (histogram t name) v
+  match !(current ()) with None -> () | Some t -> observe (histogram t name) v
 
 (* ------------------------------------------------------------------ *)
 (* Dump                                                                *)

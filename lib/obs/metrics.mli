@@ -47,7 +47,11 @@ val quantile : histogram -> float -> float
 val bucket_ratio : float
 (** Ratio between consecutive histogram bucket boundaries. *)
 
-(** {1 The current registry} *)
+(** {1 The current registry}
+
+    Domain-local, like {!Trace}'s current sink: [set_current] installs
+    the registry for the calling domain only, so concurrent simulations
+    in a {!Poe_parallel.Pool} never share (or race on) one registry. *)
 
 val set_current : t -> unit
 val clear_current : unit -> unit

@@ -75,28 +75,36 @@ let events_from t mark =
 (* ------------------------------------------------------------------ *)
 (* Current sink                                                        *)
 
-let current : t option ref = ref None
+(* Domain-local, so concurrent simulations (one per worker domain of a
+   Poe_parallel.Pool) each trace into their own ring without interleaving.
+   For single-domain callers the API behaves exactly as a module-level
+   ref: [set] installs a sink for this domain, emitters in the same
+   domain see it. A freshly spawned domain starts with no sink. *)
+let current_key : t option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
 
-let set t = current := Some t
-let clear () = current := None
-let enabled () = !current <> None
-let sink () = !current
+let current () = Domain.DLS.get current_key
+
+let set t = current () := Some t
+let clear () = current () := None
+let enabled () = !(current ()) <> None
+let sink () = !(current ())
 
 let instant ?(view = -1) ?(seqno = -1) ?(tid = 0) ?(args = []) ~ts ~node ~cat
     name =
-  match !current with
+  match !(current ()) with
   | None -> ()
   | Some t -> record t { ts; node; tid; cat; name; ph = Instant; view; seqno; args }
 
 let complete ?(tid = 0) ?(args = []) ~ts ~dur ~node ~cat name =
-  match !current with
+  match !(current ()) with
   | None -> ()
   | Some t ->
       record t
         { ts; node; tid; cat; name; ph = Complete dur; view = -1; seqno = -1; args }
 
 let phase ~ts ~node ~cat ~view ~seqno name =
-  match !current with
+  match !(current ()) with
   | None -> ()
   | Some t -> (
       let span ph name =
@@ -141,7 +149,7 @@ let phase ~ts ~node ~cat ~view ~seqno name =
           end)
 
 let slot_done ~ts ~node ~view ~seqno =
-  match !current with
+  match !(current ()) with
   | None -> None
   | Some t -> (
       match Hashtbl.find_opt t.open_slots (node, seqno) with

@@ -59,8 +59,14 @@ val events_from : t -> int -> event list
 
 (** {1 The current sink}
 
-    The simulator is single-threaded, so one module-level sink
-    suffices; tests and the CLI install one around a run. *)
+    Each simulation runs single-threaded within one domain, so the
+    current sink is {e domain-local} ([Domain.DLS]): [set] installs a
+    sink for the calling domain only, and every emitter reads its own
+    domain's sink. Single-domain callers see exactly the old
+    module-level-ref behaviour; parallel sweeps (one simulation per
+    {!Poe_parallel.Pool} worker) trace into disjoint rings with no
+    interleaving or races. A freshly spawned domain starts with no
+    sink installed. *)
 
 val set : t -> unit
 val clear : unit -> unit

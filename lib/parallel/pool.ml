@@ -1,0 +1,143 @@
+(* Fixed-size domain pool with a FIFO job queue (mutex + condition).
+
+   Submission order is the only order that matters to callers: results
+   land in pre-assigned slots of an array, so arrival order (which is
+   nondeterministic under parallelism) is never observable. Exceptions
+   are captured per job inside the worker, so a failing job cannot take
+   a worker domain down. *)
+
+type job = unit -> unit
+
+type t = {
+  queue : job Queue.t;
+  m : Mutex.t;
+  nonempty : Condition.t;
+  mutable closed : bool;
+  mutable domains : unit Domain.t array;
+  n_jobs : int;
+}
+
+let default_jobs () =
+  let from_env =
+    match Sys.getenv_opt "POE_JOBS" with
+    | Some s -> ( match int_of_string_opt (String.trim s) with
+        | Some j when j >= 1 -> Some j
+        | Some _ | None -> None)
+    | None -> None
+  in
+  match from_env with
+  | Some j -> j
+  | None -> max 1 (min 4 (Domain.recommended_domain_count () - 1))
+
+let rec worker_loop t =
+  Mutex.lock t.m;
+  while Queue.is_empty t.queue && not t.closed do
+    Condition.wait t.nonempty t.m
+  done;
+  if Queue.is_empty t.queue then Mutex.unlock t.m (* closed: exit *)
+  else begin
+    let job = Queue.pop t.queue in
+    Mutex.unlock t.m;
+    job ();
+    worker_loop t
+  end
+
+let create ~jobs =
+  if jobs < 1 then invalid_arg "Pool.create: jobs >= 1";
+  let t =
+    {
+      queue = Queue.create ();
+      m = Mutex.create ();
+      nonempty = Condition.create ();
+      closed = false;
+      domains = [||];
+      n_jobs = jobs;
+    }
+  in
+  t.domains <- Array.init jobs (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+let jobs t = t.n_jobs
+
+let shutdown t =
+  Mutex.lock t.m;
+  let was_closed = t.closed in
+  t.closed <- true;
+  Condition.broadcast t.nonempty;
+  Mutex.unlock t.m;
+  if not was_closed then Array.iter Domain.join t.domains
+
+(* One batch of submitted jobs: completion is tracked with its own mutex
+   and condition so concurrent [run_jobs] calls (not that we make any)
+   would not interfere through the pool lock. *)
+type 'a batch = {
+  results : ('a, exn) result option array;
+  bm : Mutex.t;
+  all_done : Condition.t;
+  mutable remaining : int;
+}
+
+let run_jobs t thunks =
+  let n = List.length thunks in
+  if n = 0 then []
+  else begin
+    let batch =
+      {
+        results = Array.make n None;
+        bm = Mutex.create ();
+        all_done = Condition.create ();
+        remaining = n;
+      }
+    in
+    Mutex.lock t.m;
+    if t.closed then begin
+      Mutex.unlock t.m;
+      invalid_arg "Pool.run_jobs: pool is shut down"
+    end;
+    List.iteri
+      (fun i thunk ->
+        Queue.push
+          (fun () ->
+            let r = try Ok (thunk ()) with e -> Error e in
+            Mutex.lock batch.bm;
+            batch.results.(i) <- Some r;
+            batch.remaining <- batch.remaining - 1;
+            if batch.remaining = 0 then Condition.signal batch.all_done;
+            Mutex.unlock batch.bm)
+          t.queue)
+      thunks;
+    Condition.broadcast t.nonempty;
+    Mutex.unlock t.m;
+    Mutex.lock batch.bm;
+    while batch.remaining > 0 do
+      Condition.wait batch.all_done batch.bm
+    done;
+    Mutex.unlock batch.bm;
+    Array.to_list batch.results
+    |> List.map (function
+         | Some r -> r
+         | None -> assert false (* remaining = 0 implies every slot filled *))
+  end
+
+let reraise_first results =
+  List.map
+    (function
+      | Ok v -> v
+      | Error e -> raise e)
+    results
+
+let map t f xs = reraise_first (run_jobs t (List.map (fun x () -> f x) xs))
+
+let run_list ~jobs thunks =
+  if jobs <= 1 then
+    (* Sequential path: same domain, same domain-local observability
+       state, no pool machinery at all. *)
+    List.map (fun thunk -> try Ok (thunk ()) with e -> Error e) thunks
+  else begin
+    let pool = create ~jobs:(min jobs (max 1 (List.length thunks))) in
+    Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> run_jobs pool thunks)
+  end
+
+let map_list ~jobs f xs =
+  if jobs <= 1 then List.map f xs
+  else reraise_first (run_list ~jobs (List.map (fun x () -> f x) xs))

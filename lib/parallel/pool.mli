@@ -1,0 +1,66 @@
+(** A fixed-size domain pool for fanning out independent simulation jobs.
+
+    The evaluation grid (protocols x replica counts x batch sizes x chaos
+    seeds) is embarrassingly parallel: every simulation is a pure function
+    of its configuration seed, builds its own engine, network and RNG
+    streams, and shares no mutable state with its siblings (the
+    observability globals are domain-local, see {!Poe_obs.Trace}). The
+    pool exploits OCaml 5's shared-memory domains to run such jobs
+    concurrently while keeping results in submission order, so any output
+    assembled from them is byte-identical to a sequential run.
+
+    Jobs are distributed through a plain FIFO queue guarded by a mutex
+    and condition variable — no work stealing; simulation jobs run for
+    seconds, so queue contention is irrelevant and FIFO keeps the
+    execution order comprehensible.
+
+    Determinism contract: a job must not read or write state shared with
+    other jobs (module-level refs, shared [Rng.t]s, shared trace sinks).
+    Under that contract, [map ~jobs:k f xs] returns the same value for
+    every [k]; [~jobs:1] does not even spawn a domain and is bit-for-bit
+    the sequential [List.map]. *)
+
+type t
+(** A running pool of worker domains. *)
+
+val default_jobs : unit -> int
+(** The job-count knob: the [POE_JOBS] environment variable if set (and a
+    positive integer), otherwise
+    [min 4 (Domain.recommended_domain_count () - 1)], floored at 1. The
+    [- 1] leaves the submitting domain a core to coordinate (and to run
+    anything the pool does not own). *)
+
+val create : jobs:int -> t
+(** Spawn [jobs] worker domains ([jobs >= 1], else [Invalid_argument]).
+    The pool must be {!shutdown} when no longer needed; a pool holds its
+    domains parked on a condition variable, not spinning. *)
+
+val jobs : t -> int
+
+val shutdown : t -> unit
+(** Drain nothing: mark the pool closed, wake every worker and join the
+    domains. Pending submitted work is completed first ([run_jobs] only
+    returns once all its jobs ran, so in practice the queue is empty).
+    Idempotent. *)
+
+val run_jobs : t -> (unit -> 'a) list -> ('a, exn) result list
+(** Submit the thunks, block until all have run, and return their
+    results in submission order. A job that raises yields [Error e] in
+    its slot without disturbing the others. Do not call from inside a
+    pool job (the pool's workers would deadlock waiting for themselves). *)
+
+val map : t -> ('a -> 'b) -> 'a list -> 'b list
+(** [map pool f xs] = [List.map f xs] computed on the pool, results in
+    submission order. If any job raised, the first (by submission order)
+    such exception is re-raised after all jobs finished. *)
+
+val map_list : jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** Convenience one-shot: with [jobs <= 1] this is literally
+    [List.map f xs] in the calling domain — today's sequential path,
+    same domain-local observability state, no domain ever spawned.
+    Otherwise it creates a pool of [min jobs (List.length xs)] workers,
+    maps, and shuts the pool down (even on exceptions). *)
+
+val run_list : jobs:int -> (unit -> 'a) list -> ('a, exn) result list
+(** One-shot {!run_jobs} with the same sequential guarantee for
+    [jobs <= 1] as {!map_list}. *)

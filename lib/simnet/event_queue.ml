@@ -71,6 +71,11 @@ let peek_time t = if t.len = 0 then None else Some t.heap.(0).time
 let size t = t.len
 let is_empty t = t.len = 0
 
+(* Keep the backing array: a cleared queue is about to be refilled (engine
+   reset between rounds), and throwing the array away forces the grow
+   sequence all over again. Resetting [next_seq] also restores the
+   fresh-queue tie-break order, so a reused queue schedules identically to
+   a new one. *)
 let clear t =
-  t.heap <- [||];
-  t.len <- 0
+  t.len <- 0;
+  t.next_seq <- 0

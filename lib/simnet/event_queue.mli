@@ -17,3 +17,6 @@ val size : 'a t -> int
 val is_empty : 'a t -> bool
 
 val clear : 'a t -> unit
+(** Drop every pending event and reset the insertion counter, keeping the
+    backing array so a reused queue does not regrow from scratch. After
+    [clear] the queue behaves exactly like a fresh one. *)
