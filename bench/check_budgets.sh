@@ -1,0 +1,43 @@
+#!/bin/sh
+# Regression-check the deterministic hot-path counter budgets.
+#
+# `poe_sim profile` runs a canned mini-cluster (n=4, 1600 clients, 0.5 s
+# simulated window, seed 1) and writes PREFIX.budgets: hot-path counter
+# totals divided by completed requests. The simulation is deterministic,
+# so these budgets are byte-identical across reruns, job counts and
+# machines. Any diff against the committed baseline means the hot path
+# changed shape — more messages, executions or rollbacks per request —
+# and must be either fixed or acknowledged by refreshing the baseline:
+#
+#   dune build && bench/check_budgets.sh --update
+#
+# Exits non-zero on any drift (or on a missing baseline).
+set -eu
+cd "$(dirname "$0")/.."
+
+POE_SIM=${POE_SIM:-_build/default/bin/poe_sim.exe}
+BASELINES=bench/budgets
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+update=false
+[ "${1:-}" = "--update" ] && update=true
+
+fail=0
+for p in poe pbft zyzzyva sbft hotstuff; do
+  "$POE_SIM" profile --protocol "$p" --seed 1 --out "$tmp/$p" >/dev/null
+  if $update; then
+    mkdir -p "$BASELINES"
+    cp "$tmp/$p.budgets" "$BASELINES/$p.budgets"
+    echo "updated $BASELINES/$p.budgets"
+  elif [ ! -f "$BASELINES/$p.budgets" ]; then
+    echo "missing baseline $BASELINES/$p.budgets (run with --update)" >&2
+    fail=1
+  elif ! diff -u "$BASELINES/$p.budgets" "$tmp/$p.budgets"; then
+    echo "budget drift for $p (refresh with --update if intended)" >&2
+    fail=1
+  else
+    echo "budgets ok: $p"
+  fi
+done
+exit $fail

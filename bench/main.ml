@@ -152,6 +152,50 @@ let show series =
   E.print_series fmt series;
   emit series
 
+(* ------------------------------------------------------------------ *)
+(* Self-profiling: every figure runs in a profiled region, and its
+   wall-clock, allocation/GC and hot-path counter deltas land in
+   BENCH_wallclock.json. Counters merge in from worker domains through
+   the pool's job epilogue before each grid call returns, so the deltas
+   are identical for any POE_JOBS; wall-clock and GC fields are host
+   noise and are tagged unstable in the JSON. *)
+
+module Prof = Poe_prof.Prof
+
+let bench_figures : Prof.bench_figure list ref = ref []
+
+let figure name f =
+  let c0 = Prof.counters () in
+  let a0 = Gc.allocated_bytes () in
+  let q0 = Gc.quick_stat () in
+  let t0 = Unix.gettimeofday () in
+  let r = Prof.with_region name f in
+  let t1 = Unix.gettimeofday () in
+  let q1 = Gc.quick_stat () in
+  let a1 = Gc.allocated_bytes () in
+  let c1 = Prof.counters () in
+  let fig_counters =
+    Array.to_list (Array.map2 (fun (n, v1) (_, v0) -> (n, v1 - v0)) c1 c0)
+  in
+  bench_figures :=
+    {
+      Prof.fig_name = name;
+      fig_wall_s = t1 -. t0;
+      fig_alloc_bytes = a1 -. a0;
+      fig_minor = q1.Gc.minor_collections - q0.Gc.minor_collections;
+      fig_major = q1.Gc.major_collections - q0.Gc.major_collections;
+      fig_promoted = q1.Gc.promoted_words -. q0.Gc.promoted_words;
+      fig_counters;
+    }
+    :: !bench_figures;
+  r
+
+let emit_wallclock () =
+  let path = Filename.concat json_dir "BENCH_wallclock.json" in
+  An.Report.write_string path
+    (Prof.wallclock_json ~jobs ~quick ~scale (List.rev !bench_figures));
+  Format.fprintf fmt "[%s]@.@." path
+
 let fig1 () =
   section "Fig. 1 (table): consensus cost per decision";
   Format.fprintf fmt
@@ -159,32 +203,42 @@ let fig1 () =
      phases O(3n); pbft 3 phases O(n+2n^2); sbft 5 linear phases O(5n);@.\
      hotstuff chained TS rounds. Measured traffic also includes client@.\
      requests, responses and checkpoints:@.@.";
-  show (E.fig1_message_census ~scale ~jobs ())
+  figure "fig1" (fun () -> show (E.fig1_message_census ~scale ~jobs ()))
 
 let fig7 () =
   section "Fig. 7: upper bound without consensus";
-  show (E.fig7_upper_bound ~scale ~jobs ())
+  figure "fig7" (fun () -> show (E.fig7_upper_bound ~scale ~jobs ()))
 
 let fig8 () =
   section "Fig. 8: signature schemes (PBFT, n=16)";
-  show (E.fig8_signatures ~scale ~jobs ())
+  figure "fig8" (fun () -> show (E.fig8_signatures ~scale ~jobs ()))
 
 let fig9 () =
   section "Fig. 9(a,b): scalability, standard payload, single backup failure";
-  show (E.fig9_scalability ~scale ~clients_per_hub ~ns ~jobs E.Standard_failure);
+  figure "fig9ab" (fun () ->
+      show
+        (E.fig9_scalability ~scale ~clients_per_hub ~ns ~jobs
+           E.Standard_failure));
   section "Fig. 9(c,d): scalability, standard payload, no failures";
-  show (E.fig9_scalability ~scale ~clients_per_hub ~ns ~jobs E.Standard_nofail);
+  figure "fig9cd" (fun () ->
+      show
+        (E.fig9_scalability ~scale ~clients_per_hub ~ns ~jobs
+           E.Standard_nofail));
   section "Fig. 9(e,f): zero payload, single backup failure";
-  show (E.fig9_scalability ~scale ~clients_per_hub ~ns ~jobs E.Zero_failure);
+  figure "fig9ef" (fun () ->
+      show (E.fig9_scalability ~scale ~clients_per_hub ~ns ~jobs E.Zero_failure));
   section "Fig. 9(g,h): zero payload, no failures";
-  show (E.fig9_scalability ~scale ~clients_per_hub ~ns ~jobs E.Zero_nofail);
+  figure "fig9gh" (fun () ->
+      show (E.fig9_scalability ~scale ~clients_per_hub ~ns ~jobs E.Zero_nofail));
   section "Fig. 9(i,j): batching under a single backup failure (n=32)";
-  show (E.fig9_batching ~scale ~clients_per_hub ~batch_sizes ~jobs ());
+  figure "fig9ij" (fun () ->
+      show (E.fig9_batching ~scale ~clients_per_hub ~batch_sizes ~jobs ()));
   section "Fig. 9(k,l): out-of-order processing disabled";
-  show (E.fig9_no_ooo ~scale ~ns ~jobs ())
+  figure "fig9kl" (fun () -> show (E.fig9_no_ooo ~scale ~ns ~jobs ()))
 
 let fig10 () =
   section "Fig. 10: throughput timeline across a primary crash (n=32)";
+  figure "fig10" @@ fun () ->
   let timelines = E.fig10_view_change ~scale ~jobs () in
   List.iter
     (fun (name, series) ->
@@ -214,16 +268,19 @@ let fig10 () =
 
 let fig11 () =
   section "Fig. 11: simulated decisions vs message delay (sequential)";
-  show (E.fig11_simulation ~ns:fig11_ns ~jobs ());
+  figure "fig11" (fun () -> show (E.fig11_simulation ~ns:fig11_ns ~jobs ()));
   section "Fig. 11 (right): with out-of-order processing, window 250";
-  show { (E.fig11_simulation ~out_of_order:true ~ns:fig11_ns ~jobs ()) with
-         E.figure = "fig11_ooo" }
+  figure "fig11_ooo" (fun () ->
+      show
+        { (E.fig11_simulation ~out_of_order:true ~ns:fig11_ns ~jobs ()) with
+          E.figure = "fig11_ooo" })
 
 (* ------------------------------------------------------------------ *)
 (* Per-phase latency breakdown: one traced mini-run per protocol       *)
 
 let phase_breakdowns () =
   section "per-phase latency breakdown (traced mini-run per protocol)";
+  figure "phases" @@ fun () ->
   let module Config = Poe_runtime.Config in
   let module Cl = Poe_harness.Cluster in
   let run_one (p : E.protocol) =
@@ -277,6 +334,7 @@ let () =
     scale
     (if quick then ", quick" else "")
     jobs;
+  Prof.enable_regions ();
   if Sys.getenv_opt "BENCH_SKIP_MICRO" = None then microbenchmarks ();
   phase_breakdowns ();
   fig1 ();
@@ -285,4 +343,6 @@ let () =
   fig11 ();
   fig10 ();
   fig9 ();
+  Prof.disable_regions ();
+  emit_wallclock ();
   Printf.printf "done.\n%!"

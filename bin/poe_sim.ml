@@ -9,6 +9,9 @@
        from an exported trace
    poe-sim experiment fig9ab ...
        regenerate one of the paper's figures
+   poe-sim profile --protocol poe --seed 1
+       profile the simulator itself on a canned mini-run: hot-path
+       counter budgets, per-region wall-clock/allocation, folded stacks
    poe-sim list
        show the experiment catalogue. *)
 
@@ -136,6 +139,36 @@ let report_file =
 let obs_args trace_file trace_format =
   Option.map (fun path -> (trace_format, path)) trace_file
 
+module Prof = Poe_prof.Prof
+
+let profile_flag =
+  Arg.(
+    value & flag
+    & info [ "profile" ]
+        ~doc:
+          "Profile the simulator itself during the run: hot-path counter \
+           totals and per-request budgets, plus wall-clock/allocation \
+           attribution per region, printed as a top-N table afterwards.")
+
+let profile_out =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "profile-out" ] ~docv:"PREFIX"
+        ~doc:
+          "Write the profile to files as well: $(docv).json (machine \
+           readable, host-time fields tagged unstable), $(docv).folded \
+           (folded stacks for flamegraph.pl / speedscope) and \
+           $(docv).budgets (deterministic per-request counter budgets). \
+           Implies $(b,--profile).")
+
+let write_profile_files prefix snap =
+  An.Report.write_string (prefix ^ ".json") (Prof.render_json snap);
+  An.Report.write_string (prefix ^ ".folded") (Prof.render_folded snap);
+  An.Report.write_string (prefix ^ ".budgets") (Prof.render_budgets snap);
+  Format.printf "profile -> %s.json, %s.folded, %s.budgets@." prefix prefix
+    prefix
+
 (* A strictly positive int, rejected at parse time with a proper usage
    error rather than an uncaught exception mid-run. *)
 let pos_int : int Arg.conv =
@@ -162,23 +195,41 @@ let resolve_jobs = function
   | Some j -> j
   | None -> Poe_parallel.Pool.default_jobs ()
 
+(* Observed runs must stay sequential: trace/metrics/profile sinks are
+   domain-local, so parallel grid points would record into worker-domain
+   state that is never exported. Whenever that actually downgrades a
+   requested (or POE_JOBS/core-count defaulted) parallelism, say so —
+   a silent downgrade looks like a performance bug. *)
+let force_sequential ~cmd ~why jobs =
+  let requested = resolve_jobs jobs in
+  if requested > 1 then
+    Format.eprintf "poe_sim %s: %s forces jobs=1 (%s requested %d)@." cmd why
+      (if jobs = None then "POE_JOBS/default" else "--jobs")
+      requested;
+  1
+
+let protocol_module p : (module R.Protocol_intf.S) =
+  match p with
+  | E.Poe -> (module Poe_core.Poe_protocol)
+  | E.Pbft -> (module Poe_pbft.Pbft_protocol)
+  | E.Zyzzyva -> (module Poe_zyzzyva.Zyzzyva_protocol)
+  | E.Sbft -> (module Poe_sbft.Sbft_protocol)
+  | E.Hotstuff -> (module Poe_hotstuff.Hotstuff_protocol)
+
+(* The authenticator scheme each protocol uses in the paper's evaluation. *)
+let auth_scheme protocol n =
+  match protocol with
+  | E.Poe -> if n <= 16 then Config.Auth_mac else Config.Auth_threshold
+  | E.Pbft | E.Zyzzyva -> Config.Auth_mac
+  | E.Sbft | E.Hotstuff -> Config.Auth_threshold
+
 let run_cmd =
   let run protocol n batch_size clients zero crash_backup crash_primary_at
-      no_ooo duration seed trace_file trace_format metrics report =
-    let (module P : R.Protocol_intf.S) =
-      match protocol with
-      | E.Poe -> (module Poe_core.Poe_protocol)
-      | E.Pbft -> (module Poe_pbft.Pbft_protocol)
-      | E.Zyzzyva -> (module Poe_zyzzyva.Zyzzyva_protocol)
-      | E.Sbft -> (module Poe_sbft.Sbft_protocol)
-      | E.Hotstuff -> (module Poe_hotstuff.Hotstuff_protocol)
-    in
-    let scheme =
-      match protocol with
-      | E.Poe -> if n <= 16 then Config.Auth_mac else Config.Auth_threshold
-      | E.Pbft | E.Zyzzyva -> Config.Auth_mac
-      | E.Sbft | E.Hotstuff -> Config.Auth_threshold
-    in
+      no_ooo duration seed trace_file trace_format metrics report profile
+      profile_out =
+    let (module P : R.Protocol_intf.S) = protocol_module protocol in
+    let profile = profile || profile_out <> None in
+    let scheme = auth_scheme protocol n in
     let config =
       Config.make ~n ~batch_size
         ~payload:(if zero then Config.Zero else Config.Standard)
@@ -206,7 +257,9 @@ let run_cmd =
           if id < n then Printf.sprintf "replica %d" id
           else Printf.sprintf "hub %d" (id - n))
         ?trace:(obs_args trace_file trace_format)
-        ~metrics ?on_trace
+        ~metrics ~profile
+        ?on_profile:(Option.map write_profile_files profile_out)
+        ?on_trace
         (fun () ->
           let c = C.build params in
           if crash_backup then C.crash_replica c (n - 1) ~at:0.05;
@@ -237,7 +290,7 @@ let run_cmd =
     Term.(
       const run $ protocol $ replicas $ batch_size $ clients $ zero_payload
       $ crash_backup $ crash_primary_at $ no_ooo $ duration $ seed $ trace_file
-      $ trace_format $ metrics_flag $ report_file)
+      $ trace_format $ metrics_flag $ report_file $ profile_flag $ profile_out)
 
 (* ------------------------------------------------------------------ *)
 (* poe_sim chaos                                                       *)
@@ -276,15 +329,9 @@ let sweep_arg =
 
 let chaos_cmd =
   let run protocol seed rounds sweep jobs n minimize trace_file trace_format
-      metrics report =
-    let (module P : R.Protocol_intf.S) =
-      match protocol with
-      | E.Poe -> (module Poe_core.Poe_protocol)
-      | E.Pbft -> (module Poe_pbft.Pbft_protocol)
-      | E.Zyzzyva -> (module Poe_zyzzyva.Zyzzyva_protocol)
-      | E.Sbft -> (module Poe_sbft.Sbft_protocol)
-      | E.Hotstuff -> (module Poe_hotstuff.Hotstuff_protocol)
-    in
+      metrics report profile profile_out =
+    let (module P : R.Protocol_intf.S) = protocol_module protocol in
+    let profile = profile || profile_out <> None in
     let module Ch = Poe_chaos.Runner.Make (P) in
     (* Shared per-outcome reporting: schedule, verdict, forensics, and an
        optional minimization pass (always sequential, after the fact). *)
@@ -326,19 +373,29 @@ let chaos_cmd =
           Format.eprintf
             "chaos --sweep: note: --trace is ignored; each job traces into \
              its own domain-local ring@.";
-        let jobs = resolve_jobs jobs in
-        (* Same seed derivation as --rounds, so `--sweep S` covers exactly
-           the seeds `--rounds S` would, and any seed replays alone. *)
-        let seeds = List.init s (fun i -> seed + (7919 * i)) in
-        let outcomes = Ch.run_sweep ~n ~jobs ~seeds () in
+        let jobs =
+          if profile then force_sequential ~cmd:"chaos" ~why:"--profile" jobs
+          else resolve_jobs jobs
+        in
         let forensic_log = Buffer.create 1024 in
-        let violations = ref 0 in
-        List.iteri
-          (fun i (round_seed, outcome) ->
-            report_outcome
-              ~label:(Printf.sprintf "sweep %d" i)
-              ~round_seed ~forensic_log ~violations ~minimize outcome)
-          outcomes;
+        let violations =
+          E.instrumented ~profile
+            ?on_profile:(Option.map write_profile_files profile_out)
+            (fun () ->
+              (* Same seed derivation as --rounds, so `--sweep S` covers
+                 exactly the seeds `--rounds S` would, and any seed replays
+                 alone. *)
+              let seeds = List.init s (fun i -> seed + (7919 * i)) in
+              let outcomes = Ch.run_sweep ~n ~jobs ~seeds () in
+              let violations = ref 0 in
+              List.iteri
+                (fun i (round_seed, outcome) ->
+                  report_outcome
+                    ~label:(Printf.sprintf "sweep %d" i)
+                    ~round_seed ~forensic_log ~violations ~minimize outcome)
+                outcomes;
+              !violations)
+        in
         (match report with
         | Some path ->
             let content =
@@ -350,8 +407,8 @@ let chaos_cmd =
             Format.printf "forensic report -> %s@." path
         | None -> ());
         Format.printf "chaos: protocol=%s sweep=%d jobs=%d violations=%d@."
-          P.name s jobs !violations;
-        if !violations > 0 then exit 1
+          P.name s jobs violations;
+        if violations > 0 then exit 1
     | None ->
     (* Forensic reports accumulate here across rounds; --report writes
        them out at the end (and forces a trace sink so the runner can
@@ -372,7 +429,9 @@ let chaos_cmd =
     let violations =
       E.instrumented
         ?trace:(obs_args trace_file trace_format)
-        ~metrics ?on_trace
+        ~metrics ~profile
+        ?on_profile:(Option.map write_profile_files profile_out)
+        ?on_trace
         (fun () ->
           let violations = ref 0 in
           for i = 0 to rounds - 1 do
@@ -403,7 +462,7 @@ let chaos_cmd =
     Term.(
       const run $ protocol $ seed $ chaos_rounds $ sweep_arg $ jobs_arg
       $ chaos_n $ minimize_flag $ trace_file $ trace_format $ metrics_flag
-      $ report_file)
+      $ report_file $ profile_flag $ profile_out)
 
 (* ------------------------------------------------------------------ *)
 (* poe_sim analyze                                                     *)
@@ -536,26 +595,28 @@ let experiment_cmd =
       & pos 0 (some string) None
       & info [] ~docv:"EXPERIMENT" ~doc:"Experiment id (see $(b,list)).")
   in
-  let run name scale jobs trace_file trace_format metrics =
+  let run name scale jobs trace_file trace_format metrics profile profile_out =
     match List.find_opt (fun (id, _, _) -> id = name) experiments with
     | Some (_, _, f) ->
-        (* Tracing/metrics capture through the domain-local sink of this
-           domain, so an observed run must stay sequential to capture
-           everything — parallel grid points would trace into worker-domain
-           rings that are never exported. *)
+        let profile = profile || profile_out <> None in
         let jobs =
-          if trace_file <> None || metrics then begin
-            if jobs <> None && jobs <> Some 1 then
-              Format.eprintf
-                "experiment: --trace/--metrics force --jobs 1 (observed \
-                 runs are sequential)@.";
-            1
-          end
+          if trace_file <> None || metrics || profile then
+            let why =
+              String.concat "/"
+                (List.concat
+                   [
+                     (if trace_file <> None then [ "--trace" ] else []);
+                     (if metrics then [ "--metrics" ] else []);
+                     (if profile then [ "--profile" ] else []);
+                   ])
+            in
+            force_sequential ~cmd:"experiment" ~why jobs
           else resolve_jobs jobs
         in
         E.instrumented
           ?trace:(obs_args trace_file trace_format)
-          ~metrics
+          ~metrics ~profile
+          ?on_profile:(Option.map write_profile_files profile_out)
           (fun () -> f ~jobs scale);
         `Ok ()
     | None ->
@@ -567,7 +628,90 @@ let experiment_cmd =
     Term.(
       ret
         (const run $ name_arg $ scale $ jobs_arg $ trace_file $ trace_format
-       $ metrics_flag))
+       $ metrics_flag $ profile_flag $ profile_out))
+
+(* ------------------------------------------------------------------ *)
+(* poe_sim profile                                                     *)
+
+let profile_cmd =
+  let prof_replicas =
+    Arg.(
+      value & opt int 4
+      & info [ "n"; "replicas" ] ~docv:"N"
+          ~doc:"Replicas in the profiled mini-cluster.")
+  in
+  let prof_clients =
+    Arg.(
+      value & opt int 1600
+      & info [ "clients" ] ~docv:"C"
+          ~doc:"Logical clients, spread over 16 client machines.")
+  in
+  let prof_duration =
+    Arg.(
+      value & opt float 0.5
+      & info [ "duration" ] ~docv:"SECONDS"
+          ~doc:"Simulated measurement window (after 0.2s warmup).")
+  in
+  let top =
+    Arg.(
+      value & opt int 20
+      & info [ "top" ] ~docv:"K" ~doc:"Regions to show in the table.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"PREFIX"
+          ~doc:
+            "Output prefix for $(docv).json, $(docv).folded and \
+             $(docv).budgets (default profile_<protocol>).")
+  in
+  let run protocol n batch_size clients duration seed top out =
+    let (module P : R.Protocol_intf.S) = protocol_module protocol in
+    let config =
+      Config.make ~n ~batch_size ~payload:Config.Standard
+        ~replica_scheme:(auth_scheme protocol n) ~out_of_order:true
+        ~clients_per_hub:(max 1 (clients / 16))
+        ~request_timeout:0.5 ~seed ()
+    in
+    let module C = Cluster.Make (P) in
+    let params =
+      { (Cluster.default_params ~config) with warmup = 0.2; measure = duration }
+    in
+    (* Own the profiler lifecycle directly (rather than through
+       [E.instrumented]) so --top reaches the table renderer. Capture the
+       snapshot before rendering anything: the renderer's allocations must
+       not leak into the numbers. *)
+    Prof.reset ();
+    Prof.enable_regions ();
+    let c =
+      Fun.protect ~finally:Prof.disable_regions (fun () ->
+          let c = C.build params in
+          C.run c;
+          c)
+    in
+    let snap = Prof.snapshot () in
+    print_string (Prof.render_table ~top snap);
+    let prefix =
+      Option.value out ~default:(Printf.sprintf "profile_%s" P.name)
+    in
+    write_profile_files prefix snap;
+    Format.printf "profiled run: protocol=%s n=%d %.0f txn/s@." P.name n
+      (C.throughput c)
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Profile the simulator itself on a canned mini-run: build and run \
+          one small cluster with the region profiler enabled, print the \
+          top-N self-time/allocation table and the hot-path counter \
+          budgets, and write $(b,PREFIX).json / $(b,PREFIX).folded (for \
+          flamegraph.pl or speedscope) / $(b,PREFIX).budgets. Counter and \
+          allocation sections are byte-identical across reruns for a fixed \
+          seed; wall-clock fields are tagged unstable.")
+    Term.(
+      const run $ protocol $ prof_replicas $ batch_size $ prof_clients
+      $ prof_duration $ seed $ top $ out)
 
 let list_cmd =
   let run () =
@@ -584,9 +728,14 @@ let () =
   match
     Cmd.eval ~catch:false
       (Cmd.group (Cmd.info "poe_sim" ~doc)
-         [ run_cmd; chaos_cmd; analyze_cmd; experiment_cmd; list_cmd ])
+         [
+           run_cmd; chaos_cmd; analyze_cmd; experiment_cmd; profile_cmd;
+           list_cmd;
+         ])
   with
-  | code -> exit code
+  (* Usage errors (unknown subcommand, bad flag) exit 2, the
+     conventional usage-error status, not cmdliner's default 124. *)
+  | code -> exit (if code = Cmd.Exit.cli_error then 2 else code)
   | exception (Failure msg | Sys_error msg) ->
       Format.eprintf "poe_sim: %s@." msg;
       exit 1

@@ -24,6 +24,7 @@ let prepare ~key =
   }
 
 let mac_list_prepared p parts =
+  Poe_prof.Prof.(bump ix_macs_computed);
   let ctx = Sha256.resume p.inner in
   List.iter (Sha256.feed ctx) parts;
   let inner_digest = Sha256.finalize ctx in

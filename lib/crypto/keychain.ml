@@ -48,8 +48,11 @@ let pair_prepared t a b =
   let ta = node_tag a and tb = node_tag b in
   let lo, hi = if ta <= tb then (ta, tb) else (tb, ta) in
   match Hashtbl.find_opt t.pair_cache (lo, hi) with
-  | Some p -> p
+  | Some p ->
+      Poe_prof.Prof.(bump ix_prepared_hits);
+      p
   | None ->
+      Poe_prof.Prof.(bump ix_prepared_misses);
       let key = Hmac.mac_prepared t.master ("pair|" ^ lo ^ "|" ^ hi) in
       let p = Hmac.prepare ~key in
       Hashtbl.add t.pair_cache (lo, hi) p;
@@ -59,8 +62,11 @@ let identity_prepared t node =
   validate t node;
   let tag = node_tag node in
   match Hashtbl.find_opt t.id_cache tag with
-  | Some p -> p
+  | Some p ->
+      Poe_prof.Prof.(bump ix_prepared_hits);
+      p
   | None ->
+      Poe_prof.Prof.(bump ix_prepared_misses);
       let key = Hmac.mac_prepared t.master ("id|" ^ tag) in
       let p = Hmac.prepare ~key in
       Hashtbl.add t.id_cache tag p;

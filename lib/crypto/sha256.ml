@@ -49,6 +49,7 @@ let rotr x n = ((x lsr n) lor (x lsl (32 - n))) land mask
 
 (* The 64 rounds over an already-loaded schedule [ctx.w]. *)
 let rounds ctx =
+  Poe_prof.Prof.(bump ix_sha256_blocks);
   let w = ctx.w in
   for i = 16 to 63 do
     let s0 =

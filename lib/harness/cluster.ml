@@ -46,6 +46,7 @@ module Make (P : R.Protocol_intf.S) = struct
   }
 
   let build params =
+    Poe_prof.Prof.with_region "build" @@ fun () ->
     let cfg = params.config in
     let n = cfg.Config.n in
     let engine = Engine.create ~seed:cfg.Config.seed () in
@@ -153,7 +154,14 @@ module Make (P : R.Protocol_intf.S) = struct
     let until =
       Option.value until ~default:(t.params.warmup +. t.params.measure)
     in
-    Engine.run ~until t.engine
+    (* The host-time region and the simulated-time span cover the same
+       event loop: one shows up in [poe_sim profile], the other as a
+       top-level "run" span in an exported trace. *)
+    Poe_prof.Prof.with_region "run" @@ fun () ->
+    Poe_obs.Trace.with_span
+      ~ts:(fun () -> Engine.now t.engine)
+      ~node:0 ~cat:"sim" "run"
+      (fun () -> Engine.run ~until t.engine)
 
   let crash_replica t id ~at =
     let ctx = P.ctx t.replicas.(id) in

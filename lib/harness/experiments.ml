@@ -78,6 +78,10 @@ let default_spec config ~scale =
   }
 
 let run_spec (module P : R.Protocol_intf.S) spec =
+  Poe_prof.Prof.with_region
+    (Printf.sprintf "point:%s n=%d b=%d" P.name spec.config.Config.n
+       spec.config.Config.batch_size)
+  @@ fun () ->
   let module C = Cluster.Make (P) in
   let params =
     {
@@ -125,6 +129,14 @@ let run protocol spec =
 (* Parallel fan-out                                                    *)
 
 module Pool = Poe_parallel.Pool
+module Prof = Poe_prof.Prof
+
+(* Worker domains flush their profiling counters and regions into the
+   global accumulator after every job, so totals read from the
+   submitting domain cover the whole fan-out (and survive the pool's
+   shutdown). Sums and maxes commute, so totals are independent of
+   worker scheduling — byte-identical across job counts. *)
+let () = Pool.set_job_epilogue Prof.flush_domain
 
 (* Every experiment point is an independent simulation: it builds its own
    engine (seeded from its config), network and RNG streams, and the
@@ -140,7 +152,8 @@ let pmap ~jobs f xs = Pool.map_list ~jobs f xs
 module Trace = Poe_obs.Trace
 module Metrics = Poe_obs.Metrics
 
-let instrumented ?node_name ?trace ?(metrics = false) ?on_trace f =
+let instrumented ?node_name ?trace ?(metrics = false) ?(profile = false)
+    ?on_trace ?on_profile f =
   (* Fail before the (possibly long) run if the trace path is unwritable. *)
   (match trace with
   | Some (_, path) -> (
@@ -155,9 +168,14 @@ let instrumented ?node_name ?trace ?(metrics = false) ?on_trace f =
   (match tracer with Some tr -> Trace.set tr | None -> ());
   let registry = if metrics then Some (Metrics.create ()) else None in
   (match registry with Some r -> Metrics.set_current r | None -> ());
+  if profile then begin
+    Prof.reset ();
+    Prof.enable_regions ()
+  end;
   let cleanup () =
     Trace.clear ();
-    Metrics.clear_current ()
+    Metrics.clear_current ();
+    if profile then Prof.disable_regions ()
   in
   match f () with
   | v ->
@@ -176,6 +194,13 @@ let instrumented ?node_name ?trace ?(metrics = false) ?on_trace f =
       (match registry with
       | Some r -> Format.printf "%a" Metrics.pp_summary r
       | None -> ());
+      if profile then begin
+        (* Capture before rendering so the renderer's own allocations
+           never leak into the profile. *)
+        let snap = Prof.snapshot () in
+        print_string (Prof.render_table snap);
+        match on_profile with Some g -> g snap | None -> ()
+      end;
       v
   | exception e ->
       cleanup ();

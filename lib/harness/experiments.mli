@@ -36,7 +36,9 @@ val instrumented :
   ?node_name:(int -> string) ->
   ?trace:Poe_obs.Trace.format * string ->
   ?metrics:bool ->
+  ?profile:bool ->
   ?on_trace:(Poe_obs.Trace.t -> unit) ->
+  ?on_profile:(Poe_prof.Prof.snapshot -> unit) ->
   (unit -> 'a) ->
   'a
 (** [instrumented ?trace ?metrics f] runs [f] with a fresh trace sink
@@ -46,7 +48,13 @@ val instrumented :
     is printed to stdout; both are uninstalled even if [f] raises.
     [on_trace] forces a sink even without a trace path and receives the
     (uninstalled) sink after [f] returns — this is how [--report] runs
-    analysis without also writing a raw trace file. *)
+    analysis without also writing a raw trace file.
+
+    With [profile] the hot-path counter accumulator is reset, the region
+    profiler is enabled around [f] (disabled again even on exceptions),
+    the top-N table is printed to stdout, and [on_profile] (if any)
+    receives the captured {!Poe_prof.Prof.snapshot} — the hook the CLI
+    uses to write JSON and folded-stack files. *)
 
 (** {1 The experiments}
 

@@ -81,9 +81,7 @@ let block_digest (b : Message.batch) = b.Message.digest
 (* A HotStuff "slot" is a round: it opens at the proposal and closes when
    the three-chain rule commits it and Exec_engine executes it. *)
 let tr_phase t ~round phase =
-  if Trace.enabled () then
-    Trace.phase ~ts:(Ctx.now t.ctx) ~node:(Ctx.id t.ctx) ~cat:name ~view:round
-      ~seqno:round phase
+  Ctx.trace_phase t.ctx ~cat:name ~view:round ~seqno:round phase
 
 let empty_block round =
   { Message.digest = Printf.sprintf "hs-empty-%d" round; reqs = [||] }

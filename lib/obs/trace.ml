@@ -103,6 +103,17 @@ let complete ?(tid = 0) ?(args = []) ~ts ~dur ~node ~cat name =
       record t
         { ts; node; tid; cat; name; ph = Complete dur; view = -1; seqno = -1; args }
 
+let with_span ?(view = -1) ?(seqno = -1) ?(tid = 0) ~ts ~node ~cat name f =
+  match !(current ()) with
+  | None -> f ()
+  | Some t ->
+      let span ph =
+        record t
+          { ts = ts (); node; tid; cat; name; ph; view; seqno; args = [] }
+      in
+      span Span_begin;
+      Fun.protect ~finally:(fun () -> span Span_end) f
+
 let phase ~ts ~node ~cat ~view ~seqno name =
   match !(current ()) with
   | None -> ()

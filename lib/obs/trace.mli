@@ -104,6 +104,21 @@ val complete :
 (** A self-contained span (Chrome "X"), e.g. one work item on a CPU
     lane: starts at [ts], lasts [dur]. *)
 
+val with_span :
+  ?view:int ->
+  ?seqno:int ->
+  ?tid:int ->
+  ts:(unit -> float) ->
+  node:int ->
+  cat:string ->
+  string ->
+  (unit -> 'a) ->
+  'a
+(** [with_span ~ts ... name f] brackets [f] in a begin/end span pair,
+    closing the span even when [f] raises ([Fun.protect]). [ts] is a
+    thunk (not a float) so the end event reads the clock {e after} [f]
+    ran; with no sink installed it is never called and [f] runs bare. *)
+
 val phase :
   ts:float -> node:int -> cat:string -> view:int -> seqno:int -> string -> unit
 (** Record that consensus slot [seqno] on [node] entered the named

@@ -17,6 +17,13 @@ type t = {
   n_jobs : int;
 }
 
+(* Runs in a worker domain after each job (success or failure). The
+   harness installs the profiler's flush here so counters accumulated in
+   a worker's domain-local cells survive the pool's shutdown; keeping it
+   a generic hook keeps this library free of observability deps. *)
+let job_epilogue : (unit -> unit) Atomic.t = Atomic.make (fun () -> ())
+let set_job_epilogue f = Atomic.set job_epilogue f
+
 let default_jobs () =
   let from_env =
     match Sys.getenv_opt "POE_JOBS" with
@@ -99,6 +106,7 @@ let run_jobs t thunks =
         Queue.push
           (fun () ->
             let r = try Ok (thunk ()) with e -> Error e in
+            (try (Atomic.get job_epilogue) () with _ -> ());
             Mutex.lock batch.bm;
             batch.results.(i) <- Some r;
             batch.remaining <- batch.remaining - 1;

@@ -23,6 +23,15 @@
 type t
 (** A running pool of worker domains. *)
 
+val set_job_epilogue : (unit -> unit) -> unit
+(** Install a callback that every worker runs right after finishing a
+    job (whether it returned or raised), before the result is
+    published. Used by the harness to flush domain-local profiling
+    state into its global accumulator while the worker domain is still
+    alive; the sequential [jobs <= 1] paths never invoke it (the caller
+    can read its own domain-local state directly). Exceptions from the
+    epilogue are swallowed. *)
+
 val default_jobs : unit -> int
 (** The job-count knob: the [POE_JOBS] environment variable if set (and a
     positive integer), otherwise

@@ -12,7 +12,6 @@ module Block = Poe_ledger.Block
 
 let name = "pbft"
 
-module Trace = Poe_obs.Trace
 module Metrics = Poe_obs.Metrics
 
 type vc_payload = {
@@ -77,14 +76,9 @@ let is_primary t = Ctx.is_primary_of t.ctx t.view
 let active_in t view = t.status = Active && view = t.view
 
 let tr_phase t ~view ~seqno phase =
-  if Trace.enabled () then
-    Trace.phase ~ts:(Ctx.now t.ctx) ~node:(Ctx.id t.ctx) ~cat:name ~view ~seqno
-      phase
+  Ctx.trace_phase t.ctx ~cat:name ~view ~seqno phase
 
-let tr_instant t what =
-  if Trace.enabled () then
-    Trace.instant ~ts:(Ctx.now t.ctx) ~node:(Ctx.id t.ctx) ~cat:name
-      ~view:t.view what
+let tr_instant t what = Ctx.trace_instant t.ctx ~cat:name ~view:t.view what
 
 let slot_digest ~view ~seqno ~batch_digest =
   Printf.sprintf "%d|%d|" seqno view ^ batch_digest

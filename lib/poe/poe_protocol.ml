@@ -14,7 +14,6 @@ open Poe_msg
 
 let name = "poe"
 
-module Trace = Poe_obs.Trace
 module Metrics = Poe_obs.Metrics
 
 (* Per-(view, seqno) consensus slot. *)
@@ -85,14 +84,9 @@ let slot_key_seqno key = key land ((1 lsl 40) - 1)
    phase and slot close are emitted by {!Exec_engine}). Pre-guarded: a
    disabled run pays one load-and-branch per call. *)
 let tr_phase t ~view ~seqno phase =
-  if Trace.enabled () then
-    Trace.phase ~ts:(Ctx.now t.ctx) ~node:(Ctx.id t.ctx) ~cat:name ~view ~seqno
-      phase
+  Ctx.trace_phase t.ctx ~cat:name ~view ~seqno phase
 
-let tr_instant t what =
-  if Trace.enabled () then
-    Trace.instant ~ts:(Ctx.now t.ctx) ~node:(Ctx.id t.ctx) ~cat:name
-      ~view:t.view what
+let tr_instant t what = Ctx.trace_instant t.ctx ~cat:name ~view:t.view what
 
 let slot_of t ~view ~seqno =
   match Hashtbl.find_opt t.slots (slot_key ~view ~seqno) with

@@ -81,6 +81,8 @@ let send_responses t ~view ~seqno ~(batch : Message.batch) ~result_digest =
 
 let finish t ~view ~seqno ~batch ~proof =
   let result_digest = Replica_ctx.execute_batch t.ctx ~view ~seqno batch ~proof in
+  Poe_prof.Prof.(bump ix_batches_executed);
+  Poe_prof.Prof.(bump_by ix_txns_executed (Array.length batch.Message.reqs));
   if Poe_obs.Trace.enabled () then begin
     (* The per-replica executed mark carries the batch and result digests:
        this is what lets the forensic explainer find the exact divergence
@@ -172,6 +174,7 @@ let offer t ~seqno ~view ~batch ~proof =
 
 let rollback_to t ~seqno =
   let reverted = Replica_ctx.rollback_to t.ctx ~seqno in
+  Poe_prof.Prof.(bump ix_rollbacks);
   if Poe_obs.Trace.enabled () then
     Poe_obs.Trace.instant ~ts:(Replica_ctx.now t.ctx)
       ~node:(Replica_ctx.id t.ctx) ~cat:"exec" ~seqno
@@ -202,6 +205,7 @@ let rollback_to t ~seqno =
    once the new view fills the gap would double-execute its requests
    (the new primary re-proposes them from its watch list). *)
 let abandon_unexecuted t =
+  Poe_prof.Prof.(bump ix_slots_abandoned);
   if Poe_obs.Trace.enabled () && (Hashtbl.length t.ready > 0 || t.k_sched > t.k_exec)
   then
     Poe_obs.Trace.instant ~ts:(Replica_ctx.now t.ctx)

@@ -117,6 +117,7 @@ let ensure_flush t =
 
 let submit_next t client =
   if not t.paused then begin
+    Poe_prof.Prof.(bump ix_requests_submitted);
     let rid = t.next_rid.(client) in
     t.next_rid.(client) <- rid + 1;
     let op =
@@ -180,6 +181,7 @@ let complete t rs =
   if Hashtbl.mem t.outstanding key then begin
     Hashtbl.remove t.outstanding key;
     t.completed <- t.completed + 1;
+    Poe_prof.Prof.(bump ix_replies_completed);
     let now = Engine.now t.engine in
     Stats.record_completion t.stats ~now
       ~submitted:rs.req.Message.submitted ~count:1;
@@ -234,6 +236,7 @@ let forward_to_all t rs =
 
 let handle_timeout t rs =
   rs.retries <- rs.retries + 1;
+  Poe_prof.Prof.(bump ix_retransmits);
   arm_deadline t rs;
   if Poe_obs.Trace.enabled () then
     Poe_obs.Trace.instant ~ts:(Engine.now t.engine) ~node:(node_id t)

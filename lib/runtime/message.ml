@@ -41,6 +41,8 @@ let request_key r = (((r.hub lsl 19) lor r.client) lsl 30) lor r.rid
 
 let batch_of_requests ~materialize reqs =
   let reqs = Array.of_list reqs in
+  Poe_prof.Prof.(bump ix_batches_built);
+  Poe_prof.Prof.(bump_by ix_batched_requests (Array.length reqs));
   let digest =
     if materialize then
       Sha256.digest_list

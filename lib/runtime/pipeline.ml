@@ -32,6 +32,7 @@ let close_batch t =
   let size = min cfg.Config.batch_size (Queue.length t.queue) in
   if size > 0 then begin
     let reqs = List.init size (fun _ -> Queue.pop t.queue) in
+    Poe_prof.Prof.(bump ix_batches_closed);
     if Poe_obs.Trace.enabled () then
       Poe_obs.Trace.instant ~ts:(Replica_ctx.now t.ctx)
         ~node:(Replica_ctx.id t.ctx) ~cat:"pipeline"

@@ -85,6 +85,17 @@ let server t = t.server
 
 let is_primary_of t view = Config.primary_of_view t.config view = t.id
 
+(* Shared trace shorthands: every protocol module stamps its events with
+   this replica's id and simulated clock, so the (enabled-pre-guarded)
+   boilerplate lives here once instead of in each protocol. *)
+let trace_phase t ~cat ~view ~seqno phase =
+  if Poe_obs.Trace.enabled () then
+    Poe_obs.Trace.phase ~ts:(now t) ~node:t.id ~cat ~view ~seqno phase
+
+let trace_instant ?view ?seqno ?args t ~cat what =
+  if Poe_obs.Trace.enabled () then
+    Poe_obs.Trace.instant ?view ?seqno ?args ~ts:(now t) ~node:t.id ~cat what
+
 let alive t = t.alive
 
 let kill t =

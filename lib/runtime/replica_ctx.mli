@@ -54,6 +54,25 @@ val server : t -> Server.t
 val is_primary_of : t -> int -> bool
 (** [is_primary_of ctx view] *)
 
+(** {1 Trace shorthands}
+
+    Pre-guarded wrappers around {!Poe_obs.Trace.phase} and
+    {!Poe_obs.Trace.instant} that stamp the event with this replica's id
+    and current simulated time — the boilerplate every protocol module
+    used to duplicate. No-ops (one load and branch) when tracing is
+    off. *)
+
+val trace_phase : t -> cat:string -> view:int -> seqno:int -> string -> unit
+
+val trace_instant :
+  ?view:int ->
+  ?seqno:int ->
+  ?args:(string * Poe_obs.Trace.arg) list ->
+  t ->
+  cat:string ->
+  string ->
+  unit
+
 (** {1 Liveness and fault injection} *)
 
 val alive : t -> bool

@@ -74,9 +74,7 @@ let is_collector t = Ctx.id t.ctx = collector t
 let is_executor t = Ctx.id t.ctx = executor t
 
 let tr_phase t ~seqno phase =
-  if Trace.enabled () then
-    Trace.phase ~ts:(Ctx.now t.ctx) ~node:(Ctx.id t.ctx) ~cat:name ~view:0
-      ~seqno phase
+  Ctx.trace_phase t.ctx ~cat:name ~view:0 ~seqno phase
 
 let slot_of t seqno =
   match Hashtbl.find_opt t.slots seqno with

@@ -1,3 +1,5 @@
+module Prof = Poe_prof.Prof
+
 type 'a entry = { time : float; seq : int; payload : 'a }
 
 type 'a t = {
@@ -28,6 +30,8 @@ let push t ~time payload =
   let h = t.heap in
   let i = ref t.len in
   t.len <- t.len + 1;
+  Prof.bump Prof.ix_events_pushed;
+  Prof.bump_max Prof.ix_queue_high_water t.len;
   h.(!i) <- e;
   let continue = ref true in
   while !continue && !i > 0 do
@@ -44,6 +48,7 @@ let push t ~time payload =
 let pop t =
   if t.len = 0 then None
   else begin
+    Prof.bump Prof.ix_events_popped;
     let h = t.heap in
     let top = h.(0) in
     t.len <- t.len - 1;

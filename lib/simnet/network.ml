@@ -57,10 +57,12 @@ let set_handler t id handler =
 
 module Trace = Poe_obs.Trace
 module Metrics = Poe_obs.Metrics
+module Prof = Poe_prof.Prof
 
 (* Hot path: tracing and metrics are pre-guarded so a disabled run pays
    one load-and-branch per message and allocates nothing. *)
 let trace_drop t ~mid ~src ~dst ~bytes =
+  Prof.bump Prof.ix_msgs_dropped;
   if Trace.enabled () then
     Trace.instant ~ts:(Engine.now t.engine) ~node:src ~cat:"net"
       ~args:[ ("mid", Trace.I mid); ("dst", Trace.I dst); ("bytes", Trace.I bytes) ]
@@ -78,6 +80,7 @@ let deliver t ~mid ~src ~dst ~bytes msg =
         t.dropped_messages <- t.dropped_messages + 1;
         trace_drop t ~mid ~src ~dst ~bytes
     | Some handler ->
+        Prof.bump Prof.ix_msgs_delivered;
         if Trace.enabled () then
           Trace.instant ~ts:(Engine.now t.engine) ~node:dst ~cat:"net"
             ~args:
@@ -117,11 +120,13 @@ let send t ~src ~dst ~bytes msg =
     t.sent_messages <- t.sent_messages + 1;
     t.sent_bytes <- t.sent_bytes + bytes;
     t.dropped_messages <- t.dropped_messages + 1;
+    Prof.bump Prof.ix_msgs_sent;
     trace_drop t ~mid ~src ~dst ~bytes
   end
   else begin
     t.sent_messages <- t.sent_messages + 1;
     t.sent_bytes <- t.sent_bytes + bytes;
+    Prof.bump Prof.ix_msgs_sent;
     if Trace.enabled () then
       Trace.instant ~ts:(Engine.now t.engine) ~node:src ~cat:"net"
         ~args:[ ("mid", Trace.I mid); ("dst", Trace.I dst); ("bytes", Trace.I bytes) ]

@@ -52,9 +52,7 @@ let is_primary t = Ctx.id t.ctx = 0
 (* Speculation has a single inter-replica phase: the slot opens at the
    order-req ("propose") and closes when Exec_engine executes it. *)
 let tr_phase t ~seqno phase =
-  if Trace.enabled () then
-    Trace.phase ~ts:(Ctx.now t.ctx) ~node:(Ctx.id t.ctx) ~cat:name ~view:0
-      ~seqno phase
+  Ctx.trace_phase t.ctx ~cat:name ~view:0 ~seqno phase
 
 let propose_batch t (batch : Message.batch) =
   if Ctx.alive t.ctx && is_primary t then begin
