@@ -33,8 +33,20 @@ for p in poe pbft zyzzyva sbft hotstuff; do
   elif [ ! -f "$BASELINES/$p.budgets" ]; then
     echo "missing baseline $BASELINES/$p.budgets (run with --update)" >&2
     fail=1
-  elif ! diff -u "$BASELINES/$p.budgets" "$tmp/$p.budgets"; then
-    echo "budget drift for $p (refresh with --update if intended)" >&2
+  elif ! cmp -s "$BASELINES/$p.budgets" "$tmp/$p.budgets"; then
+    # Report every drifted counter with expected vs actual values (not
+    # just the first), so one run shows the full shape of the drift.
+    echo "budget drift for $p (refresh with --update if intended):" >&2
+    awk 'NR==FNR { expected[$1] = $0; next }
+         { seen[$1] = 1
+           if (!($1 in expected))
+             printf "  %s: new counter: [%s]\n", $1, $0
+           else if (expected[$1] != $0)
+             printf "  %s: expected [%s], actual [%s]\n", $1, expected[$1], $0
+         }
+         END { for (k in expected) if (!(k in seen))
+                 printf "  %s: missing (expected [%s])\n", k, expected[k] }' \
+      "$BASELINES/$p.budgets" "$tmp/$p.budgets" >&2
     fail=1
   else
     echo "budgets ok: $p"

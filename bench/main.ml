@@ -335,6 +335,19 @@ let () =
     (if quick then ", quick" else "")
     jobs;
   Prof.enable_regions ();
+  (* Per-grid-point progress/ETA on stderr for every experiment grid.
+     On by default only on a TTY (CI logs stay clean); BENCH_WATCH=1
+     forces it, BENCH_WATCH=0 suppresses it. Stderr-only, so all
+     BENCH_*.json artifacts remain byte-identical either way. *)
+  let watch =
+    match Sys.getenv_opt "BENCH_WATCH" with
+    | Some "0" -> false
+    | Some _ -> true
+    | None -> ( try Unix.isatty Unix.stderr with _ -> false)
+  in
+  if watch then
+    Poe_parallel.Pool.set_job_notifier
+      (Some (Poe_live.Progress.notifier ~label:"bench grid" ()));
   if Sys.getenv_opt "BENCH_SKIP_MICRO" = None then microbenchmarks ();
   phase_breakdowns ();
   fig1 ();

@@ -327,24 +327,165 @@ let sweep_arg =
            to --jobs 1. Overrides --rounds; --trace is not available in \
            this mode (each job traces into its own domain-local ring).")
 
+(* Live-observability flags (shared by chaos and, partly, experiment). *)
+
+let heartbeat_file =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "heartbeat" ] ~docv:"FILE"
+        ~doc:
+          "Write the deterministic heartbeat JSONL stream(s) to $(docv): \
+           one line per --heartbeat-interval of simulated time with \
+           per-replica commit/exec watermarks, view, queue depth, \
+           in-flight requests and counter deltas. Byte-identical for a \
+           fixed seed across --jobs values once the unstable-tagged \
+           wall-clock field is stripped.")
+
+let heartbeat_interval_arg =
+  Arg.(
+    value & opt float 0.1
+    & info [ "heartbeat-interval" ] ~docv:"T"
+        ~doc:
+          "Simulated seconds between heartbeat samples (default 0.1). \
+           Only meaningful with $(b,--heartbeat) or $(b,--watch).")
+
+let watch_flag =
+  Arg.(
+    value & flag
+    & info [ "watch" ]
+        ~doc:
+          "Render live run status to stderr: a one-line in-place view per \
+           heartbeat for sequential runs, per-grid-point progress and ETA \
+           for parallel sweeps. Purely cosmetic (stderr only) — artifact \
+           streams are unaffected.")
+
+let flight_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "flight-dir" ] ~docv:"DIR"
+        ~doc:
+          "On a stall or safety violation, dump a flight-recorder bundle \
+           under $(docv)/seed-<seed>/: manifest.json, trace.jsonl (last \
+           events; consumable by $(b,poe_sim analyze)), heartbeats.jsonl, \
+           profile.json and state.txt.")
+
+let stall_window_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "stall-window" ] ~docv:"T"
+        ~doc:
+          "Arm the stall watchdog: if cluster-wide commit progress stops \
+           for $(docv) simulated seconds while client requests are \
+           outstanding, the run stops with verdict $(b,stall) (exit 3).")
+
+let step_budget_arg =
+  Arg.(
+    value
+    & opt (some pos_int) None
+    & info [ "step-budget" ] ~docv:"N"
+        ~doc:
+          "Hard bound on engine events processed per run; exhaustion is \
+           reported as a stall (reason step-budget). A host-liveness \
+           guard for runs that would otherwise grind.")
+
+let silence_primary_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "silence-primary" ] ~docv:"T"
+        ~doc:
+          "Inject an extra schedule entry making replica 0 (the initial \
+           primary) byzantine-silent at simulated time $(docv) — the \
+           canonical stall reproducer for protocols without working \
+           primary suspicion (SBFT, Zyzzyva).")
+
+let silence_extra = function
+  | None -> []
+  | Some t ->
+      [
+        {
+          Poe_chaos.Schedule.at = t;
+          action =
+            Poe_chaos.Schedule.Set_byzantine
+              { replica = 0; byz = Poe_chaos.Schedule.Silent };
+        };
+      ]
+
+let chaos_exits =
+  Cmd.Exit.info 0 ~doc:"every round clean: no safety violation, no stall."
+  :: Cmd.Exit.info 1 ~doc:"at least one safety violation (dominates stall)."
+  :: Cmd.Exit.info 3
+       ~doc:
+         "no safety violation, but at least one round stalled (watchdog \
+          window elapsed without commit progress, or step budget \
+          exhausted)."
+  :: Cmd.Exit.defaults
+
 let chaos_cmd =
   let run protocol seed rounds sweep jobs n minimize trace_file trace_format
-      metrics report profile profile_out =
+      metrics report profile profile_out heartbeat heartbeat_interval watch
+      flight_dir stall_window step_budget silence_primary =
     let (module P : R.Protocol_intf.S) = protocol_module protocol in
     let profile = profile || profile_out <> None in
     let module Ch = Poe_chaos.Runner.Make (P) in
+    (* Heartbeats are armed whenever anything consumes them. *)
+    let heartbeat_interval_opt =
+      if heartbeat <> None || watch || flight_dir <> None then
+        Some heartbeat_interval
+      else None
+    in
+    let extra = silence_extra silence_primary in
+    let hb_log = Buffer.create 1024 in
+    let write_heartbeats () =
+      match heartbeat with
+      | Some path ->
+          An.Report.write_string path (Buffer.contents hb_log);
+          Format.printf "heartbeats -> %s@." path
+      | None -> ()
+    in
+    (* run_seed's defaults: 2.0 s fault horizon + 1.2 s drain. *)
+    let total_sim = 3.2 in
     (* Shared per-outcome reporting: schedule, verdict, forensics, and an
-       optional minimization pass (always sequential, after the fact). *)
-    let report_outcome ~label ~round_seed ~forensic_log ~violations ~minimize
-        (outcome : Ch.outcome) =
+       optional minimization pass (always sequential, after the fact).
+       Stall minimization reuses the greedy shrinker with a stall oracle
+       and the same watchdog settings that caught the original. *)
+    let report_outcome ~label ~round_seed ~forensic_log ~violations ~stalls
+        ~minimize (outcome : Ch.outcome) =
       Format.printf "%s seed %d schedule:@.%a" label round_seed
         Poe_chaos.Schedule.pp outcome.Ch.schedule;
-      (match outcome.Ch.violation with
-      | None ->
+      Buffer.add_string hb_log outcome.Ch.heartbeats;
+      (match outcome.Ch.flight with
+      | Some dir -> Format.printf "flight bundle -> %s@." dir
+      | None -> ());
+      (match (outcome.Ch.violation, outcome.Ch.stall) with
+      | None, None ->
           Format.printf "%s seed %d: ok (%d requests, %d samples, t=%.2fs)@."
             label round_seed outcome.Ch.completed outcome.Ch.samples
             outcome.Ch.final_time
-      | Some v ->
+      | None, Some s ->
+          incr stalls;
+          Format.printf
+            "%s seed %d: STALL (%s) at t=%.2fs: no commit progress since \
+             t=%.2fs, %d request(s) outstanding@."
+            label round_seed s.Poe_live.Watchdog.s_reason
+            s.Poe_live.Watchdog.s_at s.Poe_live.Watchdog.s_since
+            s.Poe_live.Watchdog.s_outstanding;
+          if minimize then begin
+            let params = Ch.default_params ~seed:round_seed ~n in
+            let minimal, oracle_runs =
+              Ch.minimize ?stall_window ?step_budget
+                ~check:(fun o -> o.Ch.stall <> None)
+                ~params ~schedule:outcome.Ch.schedule
+                ~violation_at:s.Poe_live.Watchdog.s_at ()
+            in
+            Format.printf
+              "minimal stall reproducer (%d action(s), %d oracle runs):@.%a"
+              (List.length minimal) oracle_runs Poe_chaos.Schedule.pp minimal
+          end
+      | Some v, _ ->
           incr violations;
           Format.printf "%s seed %d: VIOLATION %a@." label round_seed
             Poe_chaos.Auditor.pp_violation v;
@@ -367,6 +508,10 @@ let chaos_cmd =
           end);
       Format.printf "@."
     in
+    let finish ~violations ~stalls =
+      write_heartbeats ();
+      if violations > 0 then exit 1 else if stalls > 0 then exit 3
+    in
     match sweep with
     | Some s ->
         if trace_file <> None then
@@ -377,8 +522,14 @@ let chaos_cmd =
           if profile then force_sequential ~cmd:"chaos" ~why:"--profile" jobs
           else resolve_jobs jobs
         in
+        if watch then
+          Poe_parallel.Pool.set_job_notifier
+            (Some
+               (Poe_live.Progress.notifier
+                  ~label:(Printf.sprintf "chaos %s sweep" P.name)
+                  ()));
         let forensic_log = Buffer.create 1024 in
-        let violations =
+        let violations, stalls =
           E.instrumented ~profile
             ?on_profile:(Option.map write_profile_files profile_out)
             (fun () ->
@@ -386,15 +537,21 @@ let chaos_cmd =
                  exactly the seeds `--rounds S` would, and any seed replays
                  alone. *)
               let seeds = List.init s (fun i -> seed + (7919 * i)) in
-              let outcomes = Ch.run_sweep ~n ~jobs ~seeds () in
-              let violations = ref 0 in
+              let outcomes =
+                Ch.run_sweep ~n ~jobs ?stall_window
+                  ?heartbeat_interval:heartbeat_interval_opt ?flight_dir
+                  ?step_budget ~extra ~seeds ()
+              in
+              Poe_parallel.Pool.set_job_notifier None;
+              let violations = ref 0 and stalls = ref 0 in
               List.iteri
                 (fun i (round_seed, outcome) ->
                   report_outcome
                     ~label:(Printf.sprintf "sweep %d" i)
-                    ~round_seed ~forensic_log ~violations ~minimize outcome)
+                    ~round_seed ~forensic_log ~violations ~stalls ~minimize
+                    outcome)
                 outcomes;
-              !violations)
+              (!violations, !stalls))
         in
         (match report with
         | Some path ->
@@ -406,9 +563,10 @@ let chaos_cmd =
             An.Report.write_string path content;
             Format.printf "forensic report -> %s@." path
         | None -> ());
-        Format.printf "chaos: protocol=%s sweep=%d jobs=%d violations=%d@."
-          P.name s jobs violations;
-        if violations > 0 then exit 1
+        Format.printf
+          "chaos: protocol=%s sweep=%d jobs=%d violations=%d stalls=%d@."
+          P.name s jobs violations stalls;
+        finish ~violations ~stalls
     | None ->
     (* Forensic reports accumulate here across rounds; --report writes
        them out at the end (and forces a trace sink so the runner can
@@ -426,43 +584,84 @@ let chaos_cmd =
           Format.printf "forensic report -> %s@." path)
         report
     in
-    let violations =
+    (* A flight bundle's trace.jsonl needs a sink even when no trace file
+       or report was requested (sweep jobs install their own). *)
+    let on_trace =
+      match on_trace with
+      | Some _ -> on_trace
+      | None ->
+          if flight_dir <> None then Some (fun (_ : Poe_obs.Trace.t) -> ())
+          else None
+    in
+    let violations, stalls =
       E.instrumented
         ?trace:(obs_args trace_file trace_format)
         ~metrics ~profile
         ?on_profile:(Option.map write_profile_files profile_out)
         ?on_trace
         (fun () ->
-          let violations = ref 0 in
+          let violations = ref 0 and stalls = ref 0 in
           for i = 0 to rounds - 1 do
             (* Each round's seed is a fixed function of --seed, so one
                master seed names the whole sweep and any single round can
                be replayed alone. *)
             let round_seed = seed + (7919 * i) in
-            let outcome = Ch.run_seed ~n ~seed:round_seed () in
+            let watcher =
+              if watch then
+                Some
+                  (Poe_live.Watch.create
+                     ~label:
+                       (Printf.sprintf "chaos %s seed %d" P.name round_seed)
+                     ())
+              else None
+            in
+            let on_heartbeat =
+              Option.map
+                (fun w s -> Poe_live.Watch.update ~total:total_sim w s)
+                watcher
+            in
+            let flight_dir =
+              Option.map
+                (fun dir ->
+                  Filename.concat dir (Printf.sprintf "seed-%d" round_seed))
+                flight_dir
+            in
+            let outcome =
+              Ch.run_seed ~n ?stall_window
+                ?heartbeat_interval:heartbeat_interval_opt ?on_heartbeat
+                ?flight_dir ?step_budget ~extra ~seed:round_seed ()
+            in
+            (match watcher with
+            | Some w -> Poe_live.Watch.finish w
+            | None -> ());
             report_outcome
               ~label:(Printf.sprintf "round %d" i)
-              ~round_seed ~forensic_log ~violations ~minimize outcome
+              ~round_seed ~forensic_log ~violations ~stalls ~minimize outcome
           done;
-          !violations)
+          (!violations, !stalls))
     in
-    Format.printf "chaos: protocol=%s rounds=%d violations=%d@." P.name rounds
-      violations;
-    if violations > 0 then exit 1
+    Format.printf "chaos: protocol=%s rounds=%d violations=%d stalls=%d@."
+      P.name rounds violations stalls;
+    finish ~violations ~stalls
   in
   Cmd.v
-    (Cmd.info "chaos"
+    (Cmd.info "chaos" ~exits:chaos_exits
        ~doc:
          "Run seeded fault schedules (crashes, partitions, bursty loss, \
           latency surges, byzantine flips) against a protocol with a \
-          mid-run safety auditor. With $(b,--trace) or $(b,--report), a \
-          violation additionally produces a forensic report: implicated \
-          slots, divergence point, fault intersection and the causal \
-          timeline across replicas.")
+          mid-run safety auditor and an optional stall watchdog \
+          ($(b,--stall-window)). Exit status encodes the verdict lattice: \
+          0 clean, 1 safety violation, 3 stall. With $(b,--trace) or \
+          $(b,--report), a violation additionally produces a forensic \
+          report: implicated slots, divergence point, fault intersection \
+          and the causal timeline across replicas. $(b,--flight-dir) \
+          captures a black-box bundle on any non-clean verdict.")
     Term.(
       const run $ protocol $ seed $ chaos_rounds $ sweep_arg $ jobs_arg
       $ chaos_n $ minimize_flag $ trace_file $ trace_format $ metrics_flag
-      $ report_file $ profile_flag $ profile_out)
+      $ report_file $ profile_flag $ profile_out $ heartbeat_file
+      $ heartbeat_interval_arg $ watch_flag $ flight_dir_arg
+      $ stall_window_arg $ step_budget_arg $ silence_primary_arg)
 
 (* ------------------------------------------------------------------ *)
 (* poe_sim analyze                                                     *)
@@ -595,7 +794,8 @@ let experiment_cmd =
       & pos 0 (some string) None
       & info [] ~docv:"EXPERIMENT" ~doc:"Experiment id (see $(b,list)).")
   in
-  let run name scale jobs trace_file trace_format metrics profile profile_out =
+  let run name scale jobs watch trace_file trace_format metrics profile
+      profile_out =
     match List.find_opt (fun (id, _, _) -> id = name) experiments with
     | Some (_, _, f) ->
         let profile = profile || profile_out <> None in
@@ -613,11 +813,20 @@ let experiment_cmd =
             force_sequential ~cmd:"experiment" ~why jobs
           else resolve_jobs jobs
         in
+        (* Grid-point progress/ETA on stderr; fires on sequential and
+           pooled paths alike, so output is the same for any --jobs. *)
+        if watch then
+          Poe_parallel.Pool.set_job_notifier
+            (Some
+               (Poe_live.Progress.notifier
+                  ~label:(Printf.sprintf "experiment %s" name)
+                  ()));
         E.instrumented
           ?trace:(obs_args trace_file trace_format)
           ~metrics ~profile
           ?on_profile:(Option.map write_profile_files profile_out)
           (fun () -> f ~jobs scale);
+        if watch then Poe_parallel.Pool.set_job_notifier None;
         `Ok ()
     | None ->
         `Error
@@ -627,8 +836,8 @@ let experiment_cmd =
     (Cmd.info "experiment" ~doc:"Regenerate one of the paper's figures.")
     Term.(
       ret
-        (const run $ name_arg $ scale $ jobs_arg $ trace_file $ trace_format
-       $ metrics_flag $ profile_flag $ profile_out))
+        (const run $ name_arg $ scale $ jobs_arg $ watch_flag $ trace_file
+       $ trace_format $ metrics_flag $ profile_flag $ profile_out))
 
 (* ------------------------------------------------------------------ *)
 (* poe_sim profile                                                     *)

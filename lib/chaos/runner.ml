@@ -8,6 +8,9 @@ module Ctx = R.Replica_ctx
 module Hub = R.Hub_core
 module Cluster = Poe_harness.Cluster
 module Trace = Poe_obs.Trace
+module Heartbeat = Poe_live.Heartbeat
+module Watchdog = Poe_live.Watchdog
+module Flight = Poe_live.Flight
 
 module Make (P : R.Protocol_intf.S) = struct
   module C = Cluster.Make (P)
@@ -18,10 +21,30 @@ module Make (P : R.Protocol_intf.S) = struct
     forensics : Poe_analysis.Forensics.t option;
         (* violation explained from the trace; present only when a sink
            was installed for the run *)
+    stall : Poe_live.Watchdog.stall option;
+        (* commit progress stopped with requests outstanding (or the
+           step budget ran out); latched by the watchdog, never set
+           when a violation fired first *)
+    heartbeats : string;
+        (* the run's heartbeat JSONL, "" when no heartbeat was armed *)
+    flight : string option;
+        (* directory a flight-recorder bundle was written to *)
     completed : int;
     samples : int;
     final_time : float;
   }
+
+  (* The verdict lattice: Violation (safety broken) dominates Stall
+     (liveness lost), which dominates Clean. Exit codes are part of the
+     CLI contract: 0 clean / 1 violation / 3 stall (2 is cmdliner's
+     usage-error code). *)
+  let verdict o =
+    if o.violation <> None then "violation"
+    else if o.stall <> None then "stall"
+    else "clean"
+
+  let exit_code o =
+    if o.violation <> None then 1 else if o.stall <> None then 3 else 0
 
   let speculative = String.equal P.name "poe"
 
@@ -157,12 +180,14 @@ module Make (P : R.Protocol_intf.S) = struct
     in
     ignore (Engine.schedule engine ~delay:(at -. Engine.now engine) fire)
 
-  let run ?(sample_interval = 0.05) ?(horizon = 2.0) ?(drain = 1.2) ~params
-      ~schedule () =
+  let run ?(sample_interval = 0.05) ?(horizon = 2.0) ?(drain = 1.2)
+      ?stall_window ?heartbeat_interval ?on_heartbeat ?flight_dir ?step_budget
+      ~params ~schedule () =
     (match Schedule.validate ~n:params.Cluster.config.Config.n schedule with
     | Ok () -> ()
     | Error e -> invalid_arg ("Runner.run: bad schedule: " ^ e));
     let c = C.build params in
+    Engine.set_step_budget c.C.engine step_budget;
     (* Chaos rounds share one trace ring: remember where this round's
        events start so forensics analyzes only this round. *)
     let trace_mark =
@@ -176,22 +201,56 @@ module Make (P : R.Protocol_intf.S) = struct
         ~paused:(fun id -> Hashtbl.mem disconnected id)
         ()
     in
+    (* The watchdog always exists; without a [stall_window] its window is
+       infinite, so only an exhausted step budget can ever latch it. *)
+    let dog =
+      Watchdog.create ~window:(Option.value stall_window ~default:infinity)
+    in
+    let hb =
+      match (heartbeat_interval, flight_dir, on_heartbeat) with
+      | None, None, None -> None
+      | _ ->
+          let hb =
+            Heartbeat.create
+              ~interval:(Option.value heartbeat_interval ~default:0.1)
+              ()
+          in
+          C.attach_heartbeat ?on_sample:on_heartbeat c hb;
+          Some hb
+    in
     List.iter (arm_entry c disconnected) schedule;
     let total = horizon +. drain in
-    (* Advance in slices, auditing after each, so a violation stops the
-       run within one sample interval of the moment it became visible. *)
+    let outstanding () =
+      Array.fold_left (fun acc h -> acc + Hub.outstanding h) 0 c.C.hubs
+    in
+    (* Advance in slices, auditing and feeding the watchdog after each, so
+       a violation or stall stops the run within one sample interval of
+       the moment it became visible. *)
     let rec loop () =
       let now = Engine.now c.C.engine in
-      if now < total && Auditor.violation auditor = None then begin
+      if now < total && Auditor.violation auditor = None
+         && not (Watchdog.stalled dog)
+      then begin
         C.run c ~until:(Float.min total (now +. sample_interval));
-        Auditor.sample auditor ~now:(Engine.now c.C.engine);
+        let now = Engine.now c.C.engine in
+        Auditor.sample auditor ~now;
+        if Engine.budget_exhausted c.C.engine then
+          Watchdog.force dog ~now ~outstanding:(outstanding ())
+            ~reason:"step-budget"
+        else
+          Watchdog.observe dog ~now ~progress:(C.progress_counter c)
+            ~outstanding:(outstanding ());
         loop ()
       end
     in
     loop ();
-    if Auditor.violation auditor = None then
+    (* The strict final audit assumes a quiesced cluster; a stalled run
+       never quiesced, so auditing it would report artifacts of the
+       stall, not real safety violations. *)
+    if Auditor.violation auditor = None && not (Watchdog.stalled dog) then
       Auditor.final_check auditor ~now:(Engine.now c.C.engine);
     let violation = Auditor.violation auditor in
+    let stall = if violation = None then Watchdog.stall dog else None in
     let forensics =
       match (violation, trace_mark) with
       | Some v, Some (sink, mark) ->
@@ -204,24 +263,68 @@ module Make (P : R.Protocol_intf.S) = struct
                ~seqnos:v.Auditor.seqnos ())
       | _ -> None
     in
+    let flight =
+      match flight_dir with
+      | Some dir when violation <> None || stall <> None ->
+          let reason =
+            match (violation, stall) with
+            | Some v, _ -> "violation:" ^ v.Auditor.invariant
+            | None, Some s -> "stall:" ^ s.Poe_live.Watchdog.s_reason
+            | None, None -> assert false
+          in
+          let events =
+            match trace_mark with
+            | Some (sink, mark) -> Trace.events_from sink mark
+            | None -> []
+          in
+          let heartbeats =
+            match hb with Some hb -> Heartbeat.tail_jsonl hb | None -> ""
+          in
+          let meta =
+            [
+              ("protocol", P.name);
+              ("seed", string_of_int params.Cluster.config.Config.seed);
+            ]
+          in
+          ignore
+            (Flight.dump ~dir ~reason ~at:(Engine.now c.C.engine) ~meta
+               ~events ~heartbeats ~state:(C.state_summary c) ());
+          Some dir
+      | _ -> None
+    in
     {
       schedule;
       violation;
       forensics;
+      stall;
+      heartbeats =
+        (match hb with Some hb -> Heartbeat.to_jsonl hb | None -> "");
+      flight;
       completed = Array.fold_left (fun acc h -> acc + Hub.completed h) 0 c.C.hubs;
       samples = Auditor.samples auditor;
       final_time = Engine.now c.C.engine;
     }
 
-  let run_seed ?profile ?(n = 4) ?horizon ?drain ~seed () =
+  let run_seed ?profile ?(n = 4) ?horizon ?drain ?stall_window
+      ?heartbeat_interval ?on_heartbeat ?flight_dir ?step_budget
+      ?(extra = []) ~seed () =
     let params = default_params ~seed ~n in
     let horizon_v = Option.value horizon ~default:2.0 in
-    let schedule =
+    let generated =
       Generator.generate ?profile ~seed ~n
         ~byzantine:(Generator.byzantine_ok ~protocol:P.name)
         ~horizon:horizon_v ()
     in
-    run ~horizon:horizon_v ?drain ~params ~schedule ()
+    (* Extra entries (e.g. --silence-primary) merge into the generated
+       schedule by time; the stable sort keeps generated-before-extra
+       order at equal timestamps, so runs stay reproducible. *)
+    let schedule =
+      List.stable_sort
+        (fun a b -> Float.compare a.Schedule.at b.Schedule.at)
+        (generated @ extra)
+    in
+    run ~horizon:horizon_v ?drain ?stall_window ?heartbeat_interval
+      ?on_heartbeat ?flight_dir ?step_budget ~params ~schedule ()
 
   (* Parallel sweep. Each seed is an independent job: it builds its own
      cluster, auditor and disconnected-set, and installs its own
@@ -229,15 +332,26 @@ module Make (P : R.Protocol_intf.S) = struct
      executing domain had) so forensics on a violation read only that
      job's events. Results come back in seed order, so the sweep's
      verdicts are identical for any job count. *)
-  let run_sweep ?profile ?(n = 4) ?horizon ?drain ?(jobs = 1) ~seeds () =
+  let run_sweep ?profile ?(n = 4) ?horizon ?drain ?stall_window
+      ?heartbeat_interval ?flight_dir ?step_budget ?(extra = []) ?(jobs = 1)
+      ~seeds () =
     let one seed =
       let saved = Trace.sink () in
       let restore () =
         match saved with Some tr -> Trace.set tr | None -> Trace.clear ()
       in
       Trace.set (Trace.create ());
+      (* One bundle subdirectory per seed so sweep failures never
+         clobber each other. *)
+      let flight_dir =
+        Option.map
+          (fun dir -> Filename.concat dir (Printf.sprintf "seed-%d" seed))
+          flight_dir
+      in
       Fun.protect ~finally:restore (fun () ->
-          (seed, run_seed ?profile ~n ?horizon ?drain ~seed ()))
+          ( seed,
+            run_seed ?profile ~n ?horizon ?drain ?stall_window
+              ?heartbeat_interval ?flight_dir ?step_budget ~extra ~seed () ))
     in
     Poe_parallel.Pool.map_list ~jobs one seeds
 
@@ -246,14 +360,22 @@ module Make (P : R.Protocol_intf.S) = struct
      removed left-to-right, restarting after every success, as long as a
      fresh run of the reduced schedule (same cluster parameters, fresh
      engine) still produces a violation. *)
-  let minimize ?(max_runs = 64) ?horizon ?drain ~params ~schedule
-      ~violation_at () =
+  let minimize ?(max_runs = 64) ?horizon ?drain ?stall_window ?step_budget
+      ?check ~params ~schedule ~violation_at () =
+    let check =
+      (* Default oracle preserves the original behavior (any safety
+         violation); stall minimization passes [fun o -> o.stall <> None]
+         together with the stall_window/step_budget that detected it. *)
+      Option.value check ~default:(fun o -> o.violation <> None)
+    in
     let runs = ref 0 in
     let fails sched =
       if !runs >= max_runs then false
       else begin
         incr runs;
-        (run ?horizon ?drain ~params ~schedule:sched ()).violation <> None
+        check
+          (run ?horizon ?drain ?stall_window ?step_budget ~params
+             ~schedule:sched ())
       end
     in
     let current =

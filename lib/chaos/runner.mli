@@ -16,10 +16,29 @@ module Make (P : Poe_runtime.Protocol_intf.S) : sig
             implicated slots, divergence point, causal timeline, fault
             intersection; present only when a trace sink was installed
             around the run *)
+    stall : Poe_live.Watchdog.stall option;
+        (** liveness verdict: the cluster stopped making commit progress
+            with requests outstanding for a full stall window (or the
+            step budget ran out). Never set alongside [violation] —
+            safety dominates in the verdict lattice. *)
+    heartbeats : string;
+        (** this run's heartbeat JSONL stream, [""] when no heartbeat
+            was armed; byte-identical per seed after
+            {!Poe_live.Heartbeat.strip_unstable} *)
+    flight : string option;
+        (** directory a flight-recorder bundle was written to (set only
+            when [flight_dir] was passed and the run was not clean) *)
     completed : int;  (** client requests completed across all hubs *)
     samples : int;  (** auditor samples taken *)
     final_time : float;  (** simulated time when the run stopped *)
   }
+
+  val verdict : outcome -> string
+  (** ["violation"], ["stall"] or ["clean"] — the lattice top-down. *)
+
+  val exit_code : outcome -> int
+  (** The CLI contract: 0 clean, 1 safety violation, 3 stall. (2 is
+      cmdliner's usage-error code, deliberately skipped.) *)
 
   val default_params : seed:int -> n:int -> Poe_harness.Cluster.params
   (** A small materialized cluster (tight batches, few clients, fast
@@ -34,6 +53,11 @@ module Make (P : Poe_runtime.Protocol_intf.S) : sig
     ?sample_interval:float ->
     ?horizon:float ->
     ?drain:float ->
+    ?stall_window:float ->
+    ?heartbeat_interval:float ->
+    ?on_heartbeat:(Poe_live.Heartbeat.sample -> unit) ->
+    ?flight_dir:string ->
+    ?step_budget:int ->
     params:Poe_harness.Cluster.params ->
     schedule:Schedule.t ->
     unit ->
@@ -43,25 +67,50 @@ module Make (P : Poe_runtime.Protocol_intf.S) : sig
       in [sample_interval] slices with an auditor sample after each — the
       run stops at the first violation. [horizon] (default 2.0 s) is the
       fault window; the extra [drain] (default 1.2 s) runs fault-free so
-      the cluster can converge before the final strict audit. *)
+      the cluster can converge before the final strict audit.
+
+      [stall_window] arms the {!Poe_live.Watchdog}: if cluster-wide
+      commit progress (executed batches + completed requests) stops for
+      that many simulated seconds while requests are outstanding, the run
+      stops with a [stall] verdict and the final strict audit is skipped
+      (a stalled cluster never quiesced, so auditing it would report
+      stall artifacts as violations). [step_budget] bounds engine events
+      processed; exhaustion also latches a stall (reason
+      ["step-budget"]) — the host-liveness guard for runs that would
+      otherwise grind. [heartbeat_interval] arms the deterministic
+      heartbeat sampler ([on_heartbeat] sees each sample — the [--watch]
+      hook). [flight_dir] writes a {!Poe_live.Flight} bundle there when
+      the run ends in violation or stall. *)
 
   val run_seed :
     ?profile:Generator.profile ->
     ?n:int ->
     ?horizon:float ->
     ?drain:float ->
+    ?stall_window:float ->
+    ?heartbeat_interval:float ->
+    ?on_heartbeat:(Poe_live.Heartbeat.sample -> unit) ->
+    ?flight_dir:string ->
+    ?step_budget:int ->
+    ?extra:Schedule.t ->
     seed:int ->
     unit ->
     outcome
   (** Generate the schedule for [seed] (byzantine flips gated on
-      {!Generator.byzantine_ok} for this protocol) and run it on
-      [default_params ~seed]. *)
+      {!Generator.byzantine_ok} for this protocol), merge in [extra]
+      entries (sorted by time; used by [--silence-primary] and targeted
+      tests), and run it on [default_params ~seed]. *)
 
   val run_sweep :
     ?profile:Generator.profile ->
     ?n:int ->
     ?horizon:float ->
     ?drain:float ->
+    ?stall_window:float ->
+    ?heartbeat_interval:float ->
+    ?flight_dir:string ->
+    ?step_budget:int ->
+    ?extra:Schedule.t ->
     ?jobs:int ->
     seeds:int list ->
     unit ->
@@ -79,6 +128,9 @@ module Make (P : Poe_runtime.Protocol_intf.S) : sig
     ?max_runs:int ->
     ?horizon:float ->
     ?drain:float ->
+    ?stall_window:float ->
+    ?step_budget:int ->
+    ?check:(outcome -> bool) ->
     params:Poe_harness.Cluster.params ->
     schedule:Schedule.t ->
     violation_at:float ->
@@ -87,7 +139,10 @@ module Make (P : Poe_runtime.Protocol_intf.S) : sig
   (** Greedily shrink a failing schedule to a locally-minimal reproducer:
       entries after the violation time are dropped outright (they never
       ran), then single entries are removed as long as a fresh run of the
-      reduced schedule still produces a violation. Returns the reduced
-      schedule and the number of oracle runs spent (bounded by
-      [max_runs], default 64). *)
+      reduced schedule still fails the oracle. [check] (default: any
+      safety violation) decides what "fails" means — stall minimization
+      passes [fun o -> o.stall <> None] along with the same
+      [stall_window]/[step_budget] that caught the original stall.
+      Returns the reduced schedule and the number of oracle runs spent
+      (bounded by [max_runs], default 64). *)
 end

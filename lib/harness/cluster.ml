@@ -198,6 +198,94 @@ module Make (P : R.Protocol_intf.S) = struct
     in
     ignore (Engine.schedule t.engine ~delay:interval tick)
 
+  (* One heartbeat-shaped probe over the whole deployment. Everything
+     read here is simulated state, so the sample (and hence the JSONL
+     stream built from it) is deterministic per seed. *)
+  let live_sample ?(deltas = []) ~seq t =
+    let replicas =
+      Array.to_list
+        (Array.mapi
+           (fun id r ->
+             let ctx = P.ctx r in
+             {
+               Poe_live.Heartbeat.r_id = id;
+               r_view = P.current_view r;
+               r_exec = Ctx.executed_count ctx;
+               r_commit = Ctx.stable_seqno ctx;
+               r_alive = Ctx.alive ctx && not (Network.is_crashed t.net id);
+             })
+           t.replicas)
+    in
+    let now = Engine.now t.engine in
+    let inflight, completed, oldest =
+      Array.fold_left
+        (fun (i, c, o) hub ->
+          ( i + Hub.outstanding hub,
+            c + Hub.completed hub,
+            Float.max o (Hub.oldest_outstanding_age hub ~now) ))
+        (0, 0, 0.0) t.hubs
+    in
+    {
+      Poe_live.Heartbeat.hb_seq = seq;
+      hb_ts = now;
+      hb_replicas = replicas;
+      hb_queue = Engine.pending_events t.engine;
+      hb_inflight = inflight;
+      hb_completed = completed;
+      hb_oldest_age = oldest;
+      hb_deltas = deltas;
+    }
+
+  (* Cluster-wide work counter for the stall watchdog: grows whenever any
+     replica executes a batch or any client request completes. *)
+  let progress_counter t =
+    Array.fold_left
+      (fun acc r -> acc + Ctx.executed_count (P.ctx r))
+      (Array.fold_left (fun acc hub -> acc + Hub.completed hub) 0 t.hubs)
+      t.replicas
+
+  let attach_heartbeat ?on_sample t hb =
+    let prev_snap =
+      ref (Option.map Poe_obs.Metrics.snapshot (Poe_obs.Metrics.current_registry ()))
+    in
+    every t ~interval:(Poe_live.Heartbeat.interval hb) (fun () ->
+        let deltas =
+          match Poe_obs.Metrics.current_registry () with
+          | None -> []
+          | Some reg ->
+              let snap = Poe_obs.Metrics.snapshot reg in
+              let d =
+                match !prev_snap with
+                | Some older -> Poe_obs.Metrics.delta ~older ~newer:snap
+                | None -> Poe_obs.Metrics.snapshot_counters snap
+              in
+              prev_snap := Some snap;
+              d
+        in
+        let sample =
+          live_sample ~deltas ~seq:(Poe_live.Heartbeat.count hb) t
+        in
+        Poe_live.Heartbeat.record hb sample;
+        match on_sample with Some f -> f sample | None -> ())
+
+  (* A terse per-replica dump for flight-recorder bundles. *)
+  let state_summary t =
+    let buf = Buffer.create 256 in
+    Array.iteri
+      (fun id r ->
+        let ctx = P.ctx r in
+        Printf.bprintf buf
+          "replica %d: view=%d exec=%d stable=%d alive=%b paused=%b\n" id
+          (P.current_view r) (Ctx.executed_count ctx) (Ctx.stable_seqno ctx)
+          (Ctx.alive ctx) (Network.is_crashed t.net id))
+      t.replicas;
+    Array.iteri
+      (fun h hub ->
+        Printf.bprintf buf "hub %d: outstanding=%d completed=%d\n" h
+          (Hub.outstanding hub) (Hub.completed hub))
+      t.hubs;
+    Buffer.contents buf
+
   let committed_prefix_agrees t =
     let logs =
       Array.to_list t.replicas

@@ -71,6 +71,35 @@ module Make (P : R.Protocol_intf.S) : sig
       run (first firing after one interval) — the hook the chaos auditor
       and custom samplers attach to. *)
 
+  val live_sample :
+    ?deltas:(string * int) list -> seq:int -> t -> Poe_live.Heartbeat.sample
+  (** One health probe over the whole deployment: per-replica
+      view/exec/commit watermarks and liveness, engine queue depth,
+      aggregate in-flight/completed client requests and
+      oldest-outstanding age. Reads simulated state only, so the sample
+      is deterministic per seed. [deltas] is passed through verbatim
+      (callers that track metrics snapshots supply it). *)
+
+  val progress_counter : t -> int
+  (** Monotone cluster-wide work counter (total executed batches plus
+      total completed client requests) — what the stall watchdog
+      {!Poe_live.Watchdog.observe}s. *)
+
+  val attach_heartbeat :
+    ?on_sample:(Poe_live.Heartbeat.sample -> unit) ->
+    t ->
+    Poe_live.Heartbeat.t ->
+    unit
+  (** Arm a recurring sampler (via {!every}) at the heartbeat's interval:
+      each tick snapshots the domain's current metrics registry (if any)
+      for counter deltas, builds a {!live_sample} and records it.
+      [on_sample] additionally sees each sample (the watchdog and
+      [--watch] renderer hook in here). Call before {!run}. *)
+
+  val state_summary : t -> string
+  (** Terse per-replica and per-hub state dump (one line each) for
+      flight-recorder bundles. *)
+
   val committed_prefix_agrees : t -> bool
   (** Safety invariant used by tests: the executed (seqno, digest) logs of
       all live honest replicas are pairwise prefix-compatible. *)

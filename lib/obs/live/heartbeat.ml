@@ -1,0 +1,166 @@
+module Trace = Poe_obs.Trace
+
+type replica_sample = {
+  r_id : int;
+  r_view : int;
+  r_exec : int;
+  r_commit : int;
+  r_alive : bool;
+}
+
+type sample = {
+  hb_seq : int;
+  hb_ts : float;
+  hb_replicas : replica_sample list;
+  hb_queue : int;
+  hb_inflight : int;
+  hb_completed : int;
+  hb_oldest_age : float;
+  hb_deltas : (string * int) list;
+}
+
+type t = {
+  interval : float;
+  tail_cap : int;
+  all : Buffer.t; (* every line, in order *)
+  tail : string Queue.t; (* last [tail_cap] lines *)
+  mutable count : int;
+  mutable last : sample option;
+}
+
+let create ?(tail = 128) ~interval () =
+  if interval <= 0.0 then invalid_arg "Heartbeat.create: interval > 0";
+  if tail < 1 then invalid_arg "Heartbeat.create: tail >= 1";
+  {
+    interval;
+    tail_cap = tail;
+    all = Buffer.create 4096;
+    tail = Queue.create ();
+    count = 0;
+    last = None;
+  }
+
+let interval t = t.interval
+let count t = t.count
+let last t = t.last
+
+(* Same fixed-precision float rendering as the trace exporters, so the
+   stream is byte-stable for a fixed seed. *)
+let add_float buf f = Buffer.add_string buf (Printf.sprintf "%.9f" f)
+
+let line_of_sample ?wall s =
+  let buf = Buffer.create 256 in
+  Printf.bprintf buf "{\"hb\":%d,\"ts\":" s.hb_seq;
+  add_float buf s.hb_ts;
+  Buffer.add_string buf ",\"replicas\":[";
+  List.iteri
+    (fun i r ->
+      if i > 0 then Buffer.add_char buf ',';
+      Printf.bprintf buf
+        "{\"id\":%d,\"view\":%d,\"exec\":%d,\"commit\":%d,\"alive\":%b}" r.r_id
+        r.r_view r.r_exec r.r_commit r.r_alive)
+    s.hb_replicas;
+  Printf.bprintf buf "],\"queue\":%d,\"inflight\":%d,\"completed\":%d"
+    s.hb_queue s.hb_inflight s.hb_completed;
+  Buffer.add_string buf ",\"oldest_age\":";
+  add_float buf s.hb_oldest_age;
+  Buffer.add_string buf ",\"deltas\":{";
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Trace.escape_json buf k;
+      Printf.bprintf buf ":%d" v)
+    s.hb_deltas;
+  Buffer.add_char buf '}';
+  (match wall with
+  | Some w ->
+      (* Host time: useful for eyeballing progress, poison for diffing —
+         tagged exactly like BENCH_wallclock.json's host fields so
+         consumers (and strip_unstable) can drop it. *)
+      Printf.bprintf buf ",\"wall\":{\"unstable\":true,\"value\":%.6f}" w
+  | None -> ());
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let record ?wall t s =
+  let wall = match wall with Some w -> w | None -> Unix.gettimeofday () in
+  let line = line_of_sample ~wall s in
+  Buffer.add_string t.all line;
+  Queue.push line t.tail;
+  if Queue.length t.tail > t.tail_cap then ignore (Queue.pop t.tail);
+  t.count <- t.count + 1;
+  t.last <- Some s
+
+let to_jsonl t = Buffer.contents t.all
+
+let tail_jsonl t =
+  let buf = Buffer.create 4096 in
+  Queue.iter (Buffer.add_string buf) t.tail;
+  Buffer.contents buf
+
+let write_file t ~path =
+  let oc = open_out path in
+  output_string oc (to_jsonl t);
+  close_out oc
+
+(* ------------------------------------------------------------------ *)
+(* Stripping unstable fields                                           *)
+
+(* Remove every `"key":{"unstable":true,...}` member, together with its
+   leading comma (or its trailing comma when the member happens to lead
+   an object). The tagged value object never nests and holds only
+   numeric/boolean fields, so the first '}' after the marker closes it. *)
+let strip_unstable s =
+  let marker = "{\"unstable\":true" in
+  let mlen = String.length marker in
+  let len = String.length s in
+  let buf = Buffer.create len in
+  (* From [ks] (which holds '"'), skip the quoted key and the ':';
+     return the value-start index, or None if the shape is not a
+     member. *)
+  let value_start ks =
+    let rec close j =
+      if j >= len then None
+      else if s.[j] = '\\' then close (j + 2)
+      else if s.[j] = '"' then Some j
+      else close (j + 1)
+    in
+    match close (ks + 1) with
+    | Some q when q + 1 < len && s.[q + 1] = ':' -> Some (q + 2)
+    | _ -> None
+  in
+  let matches_at i =
+    i + mlen <= len && String.equal (String.sub s i mlen) marker
+  in
+  let rec value_end j =
+    if j >= len then len - 1 else if s.[j] = '}' then j else value_end (j + 1)
+  in
+  let i = ref 0 in
+  while !i < len do
+    let c = s.[!i] in
+    let handled =
+      (c = ',' || c = '{')
+      && !i + 1 < len
+      && s.[!i + 1] = '"'
+      &&
+      match value_start (!i + 1) with
+      | Some vstart when matches_at vstart ->
+          let vend = value_end vstart in
+          if c = ',' then i := vend + 1 (* drop ,"key":{...} entirely *)
+          else begin
+            (* leading member: keep '{', drop the member and a trailing
+               comma if one follows *)
+            Buffer.add_char buf '{';
+            i :=
+              (if vend + 1 < len && s.[vend + 1] = ',' then vend + 2
+               else vend + 1)
+          end;
+          true
+      | _ -> false
+    in
+    if not handled then begin
+      Buffer.add_char buf c;
+      incr i
+    end
+  done;
+  Buffer.contents buf

@@ -1,0 +1,34 @@
+let notifier ?(out = stderr) ~label () =
+  let started = ref (Unix.gettimeofday ()) in
+  let last_completed = ref 0 in
+  let last_total = ref 0 in
+  let last_print = ref neg_infinity in
+  let tty = try Unix.isatty (Unix.descr_of_out_channel out) with _ -> false in
+  fun ~completed ~total ->
+    let now = Unix.gettimeofday () in
+    if completed < !last_completed || total <> !last_total then begin
+      (* a new batch began since the last callback *)
+      started := now;
+      last_print := neg_infinity
+    end;
+    last_completed := completed;
+    last_total := total;
+    let final = completed >= total in
+    if final || (not tty) || now -. !last_print >= 0.1 then begin
+      last_print := now;
+      let elapsed = now -. !started in
+      let eta =
+        if completed > 0 && not final then
+          Printf.sprintf ", eta %.0fs"
+            (elapsed /. float_of_int completed
+            *. float_of_int (total - completed))
+        else ""
+      in
+      let line =
+        Printf.sprintf "%s: %d/%d done, elapsed %.1fs%s" label completed total
+          elapsed eta
+      in
+      if tty && not final then Printf.fprintf out "\r\027[K%s%!" line
+      else if tty then Printf.fprintf out "\r\027[K%s\n%!" line
+      else Printf.fprintf out "%s\n%!" line
+    end

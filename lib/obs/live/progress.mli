@@ -1,0 +1,14 @@
+(** Per-grid-point progress and ETA for parallel sweeps.
+
+    {!notifier} builds a callback with the shape
+    {!Poe_parallel.Pool.set_job_notifier} expects: invoked after each
+    job completes with the batch's running completion count. It prints
+    ["label: k/N done, elapsed Xs, eta Ys"] to [stderr], rate-limited,
+    and resets its clock whenever a new batch starts (detected by the
+    completion count not increasing monotonically, or the total
+    changing). Safe to call from the pool's result-collection lock. *)
+
+val notifier :
+  ?out:out_channel -> label:string -> unit -> completed:int -> total:int -> unit
+(** [out] defaults to [stderr]. The returned closure is stateful: one
+    notifier per logical sweep. *)

@@ -1,0 +1,61 @@
+type t = {
+  out : out_channel;
+  label : string;
+  tty : bool;
+  started : float;  (** host time at create *)
+  mutable last_render : float;
+  mutable rendered : bool;
+}
+
+let create ?(out = stderr) ~label () =
+  let tty = try Unix.isatty (Unix.descr_of_out_channel out) with _ -> false in
+  {
+    out;
+    label;
+    tty;
+    started = Unix.gettimeofday ();
+    last_render = neg_infinity;
+    rendered = false;
+  }
+
+let cluster_watermarks (s : Heartbeat.sample) =
+  List.fold_left
+    (fun (commit, exec) (r : Heartbeat.replica_sample) ->
+      (max commit r.r_commit, max exec r.r_exec))
+    (-1, 0) s.hb_replicas
+
+let update ?total t (s : Heartbeat.sample) =
+  let now = Unix.gettimeofday () in
+  (* On a TTY, redrawing faster than ~10 Hz just burns cycles. *)
+  if (not t.tty) || now -. t.last_render >= 0.1 then begin
+    t.last_render <- now;
+    t.rendered <- true;
+    let commit, exec = cluster_watermarks s in
+    let progress =
+      match total with
+      | Some horizon when horizon > 0.0 ->
+          let frac = Float.min 1.0 (s.hb_ts /. horizon) in
+          let elapsed = now -. t.started in
+          let eta =
+            if frac > 0.001 then (elapsed /. frac) -. elapsed else nan
+          in
+          if Float.is_nan eta then Printf.sprintf " %3.0f%%" (100.0 *. frac)
+          else Printf.sprintf " %3.0f%% eta %.0fs" (100.0 *. frac) eta
+      | _ -> ""
+    in
+    let line =
+      Printf.sprintf
+        "%s t=%.2fs%s commit=%d exec=%d view=%d inflight=%d queue=%d done=%d"
+        t.label s.hb_ts progress commit exec
+        (match s.hb_replicas with r :: _ -> r.r_view | [] -> 0)
+        s.hb_inflight s.hb_queue s.hb_completed
+    in
+    if t.tty then begin
+      (* \r + clear-to-eol keeps shrinking lines from leaving residue *)
+      Printf.fprintf t.out "\r\027[K%s%!" line
+    end
+    else Printf.fprintf t.out "%s\n%!" line
+  end
+
+let finish t =
+  if t.rendered && t.tty then Printf.fprintf t.out "\n%!"

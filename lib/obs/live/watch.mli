@@ -1,0 +1,22 @@
+(** The [--watch] TTY renderer: a one-line, in-place live status view of
+    a running simulation, driven by heartbeat samples.
+
+    Purely cosmetic — writes to [stderr] only, never to any artifact
+    stream, so enabling it cannot perturb determinism. On a TTY the
+    line redraws in place with ['\r']; when [stderr] is redirected each
+    update becomes a plain line so logs stay readable. *)
+
+type t
+
+val create : ?out:out_channel -> label:string -> unit -> t
+(** [out] defaults to [stderr]. [label] prefixes every update (e.g.
+    ["pbft seed=1"]). *)
+
+val update : ?total:float -> t -> Heartbeat.sample -> unit
+(** Render one sample. With [total] (the run's sim-time horizon) the
+    line includes percent-done and a wall-clock ETA extrapolated from
+    elapsed host time. Rendering is rate-limited to ~10 Hz of host time
+    on a TTY. *)
+
+val finish : t -> unit
+(** Terminate the in-place line (newline) if anything was rendered. *)

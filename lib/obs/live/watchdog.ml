@@ -1,0 +1,65 @@
+type stall = {
+  s_at : float;
+  s_since : float;
+  s_progress : int;
+  s_outstanding : int;
+  s_reason : string;
+}
+
+type t = {
+  window : float;
+  mutable last_progress : int;
+  mutable last_advance : float;
+  mutable initialized : bool;
+  mutable stall : stall option;
+}
+
+let create ~window =
+  if window <= 0.0 then invalid_arg "Watchdog.create: window > 0";
+  {
+    window;
+    last_progress = 0;
+    last_advance = 0.0;
+    initialized = false;
+    stall = None;
+  }
+
+let window t = t.window
+let stall t = t.stall
+let stalled t = t.stall <> None
+
+let observe t ~now ~progress ~outstanding =
+  if t.stall = None then
+    if not t.initialized then begin
+      t.initialized <- true;
+      t.last_progress <- progress;
+      t.last_advance <- now
+    end
+    else if progress > t.last_progress || outstanding = 0 then begin
+      (* Progress, or nothing waiting: either way the cluster is not
+         stalled, so restart the window from here. *)
+      t.last_progress <- progress;
+      t.last_advance <- now
+    end
+    else if now -. t.last_advance >= t.window then
+      t.stall <-
+        Some
+          {
+            s_at = now;
+            s_since = t.last_advance;
+            s_progress = progress;
+            s_outstanding = outstanding;
+            s_reason = "no-commit-progress";
+          }
+
+let force t ~now ~outstanding ~reason =
+  if t.stall = None then
+    t.stall <-
+      Some
+        {
+          s_at = now;
+          s_since = t.last_advance;
+          s_progress = t.last_progress;
+          s_outstanding = outstanding;
+          s_reason = reason;
+        }

@@ -1,0 +1,53 @@
+(** The stall watchdog: detects a cluster that has stopped making commit
+    progress while clients are still waiting.
+
+    The caller feeds it a monotone progress counter (any sum that grows
+    exactly when the cluster does useful work — the chaos runner uses
+    total executed batches plus total completed client requests) and the
+    current outstanding-request count, once per sample tick. If the
+    counter fails to advance for [window] simulated seconds while
+    requests are outstanding, the watchdog latches a {!stall}.
+
+    This turns the known SBFT/Zyzzyva dead-primary hang (their
+    [on_suspect] is a no-op, so nothing ever triggers a view change)
+    from an un-diagnosable timeout into a first-class verdict: chaos
+    runs report [Stall] (exit code 3) instead of running to the sim-time
+    horizon with an empty, misleading "clean" result.
+
+    Idle periods do not count: with zero outstanding requests the clock
+    resets, so a drained, quiescent cluster never trips the watchdog. *)
+
+type stall = {
+  s_at : float;  (** simulated time at which the stall was latched *)
+  s_since : float;
+      (** last simulated time at which progress was observed (stall
+          duration = [s_at -. s_since]) *)
+  s_progress : int;  (** the progress counter's frozen value *)
+  s_outstanding : int;  (** client requests stuck behind the stall *)
+  s_reason : string;
+      (** ["no-commit-progress"], or ["step-budget"] when the engine's
+          event budget ran out first *)
+}
+
+type t
+
+val create : window:float -> t
+(** A watchdog that fires after [window] simulated seconds without
+    progress (must be positive). *)
+
+val window : t -> float
+
+val observe : t -> now:float -> progress:int -> outstanding:int -> unit
+(** One sample tick. [progress] must be monotone non-decreasing. The
+    first tick initializes the baseline; the stall latches at the first
+    tick where [now -. last_advance >= window] with [outstanding > 0].
+    Once latched, further ticks are no-ops. *)
+
+val force : t -> now:float -> outstanding:int -> reason:string -> unit
+(** Latch a stall unconditionally (unless one is already latched) — for
+    out-of-band causes such as an exhausted engine step budget. *)
+
+val stall : t -> stall option
+(** The latched stall, if any. *)
+
+val stalled : t -> bool

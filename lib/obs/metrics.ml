@@ -106,6 +106,7 @@ let current () = Domain.DLS.get current_key
 let set_current t = current () := Some t
 let clear_current () = current () := None
 let enabled () = !(current ()) <> None
+let current_registry () = !(current ())
 
 let cincr ?by name =
   match !(current ()) with None -> () | Some t -> incr ?by (counter t name)
@@ -117,15 +118,56 @@ let hobs name v =
   match !(current ()) with None -> () | Some t -> observe (histogram t name) v
 
 (* ------------------------------------------------------------------ *)
+(* Snapshots and deltas                                                *)
+
+type snapshot = {
+  snap_counters : (string * int) list; (* sorted by name *)
+  snap_gauges : (string * float) list;
+}
+
+let sorted_keys tbl =
+  Hashtbl.fold (fun k _ acc -> k :: acc) tbl [] |> List.sort compare
+
+let snapshot t =
+  {
+    snap_counters =
+      sorted_keys t.counters
+      |> List.map (fun k -> (k, (Hashtbl.find t.counters k).c));
+    snap_gauges =
+      sorted_keys t.gauges
+      |> List.map (fun k -> (k, (Hashtbl.find t.gauges k).g));
+  }
+
+let snapshot_counters s = s.snap_counters
+let snapshot_gauges s = s.snap_gauges
+
+(* Both lists are name-sorted, so the delta is a linear merge; counters
+   only ever appear (never disappear) in the same registry, so entries of
+   [older] missing from [newer] cannot occur and are ignored. *)
+let delta ~older ~newer =
+  let rec merge olds news acc =
+    match (olds, news) with
+    | _, [] -> List.rev acc
+    | [], (k, v) :: rest ->
+        merge [] rest (if v <> 0 then (k, v) :: acc else acc)
+    | (ko, vo) :: orest, (kn, vn) :: nrest ->
+        let c = compare ko kn in
+        if c < 0 then merge orest news acc
+        else if c > 0 then
+          merge olds nrest (if vn <> 0 then (kn, vn) :: acc else acc)
+        else
+          merge orest nrest
+            (if vn <> vo then (kn, vn - vo) :: acc else acc)
+  in
+  merge older.snap_counters newer.snap_counters []
+
+(* ------------------------------------------------------------------ *)
 (* Dump                                                                *)
 
 type row =
   | Counter_row of string * int
   | Gauge_row of string * float
   | Histogram_row of string * int * float * float * float * float * float
-
-let sorted_keys tbl =
-  Hashtbl.fold (fun k _ acc -> k :: acc) tbl [] |> List.sort compare
 
 let rows t =
   let counters =

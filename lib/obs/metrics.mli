@@ -57,11 +57,40 @@ val set_current : t -> unit
 val clear_current : unit -> unit
 val enabled : unit -> bool
 
+val current_registry : unit -> t option
+(** The calling domain's installed registry, if any — lets samplers
+    (the heartbeat's counter-delta probe) snapshot whatever registry
+    the run installed without threading it through every layer. *)
+
 val cincr : ?by:int -> string -> unit
 (** Increment a counter in the current registry (no-op when disabled). *)
 
 val gset : string -> float -> unit
 val hobs : string -> float -> unit
+
+(** {1 Snapshots and deltas}
+
+    A snapshot freezes every counter and gauge value at one instant;
+    deltas between two snapshots of the same registry are what the live
+    heartbeat sampler emits per interval. Both are deterministic: entries
+    are sorted by name and values derive only from simulated activity. *)
+
+type snapshot
+
+val snapshot : t -> snapshot
+(** Freeze the current counter and gauge values (sorted by name). Cheap
+    enough to call on a heartbeat interval. *)
+
+val snapshot_counters : snapshot -> (string * int) list
+(** Counter values captured by the snapshot, sorted by name. *)
+
+val snapshot_gauges : snapshot -> (string * float) list
+
+val delta : older:snapshot -> newer:snapshot -> (string * int) list
+(** Per-counter increments between two snapshots of the same registry:
+    every counter of [newer] whose value changed since [older] (counters
+    absent from [older] count from 0), sorted by name. Gauges are
+    levels, not totals — read them from the snapshot directly. *)
 
 (** {1 Dump} *)
 

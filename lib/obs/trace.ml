@@ -246,7 +246,7 @@ let ph_code = function
   | Instant -> "i"
   | Complete _ -> "X"
 
-let export_jsonl t buf =
+let export_jsonl_events evs buf =
   List.iter
     (fun ev ->
       Buffer.add_string buf "{\"ts\":";
@@ -279,7 +279,9 @@ let export_jsonl t buf =
         add_args buf ev.args
       end;
       Buffer.add_string buf "}\n")
-    (events t)
+    evs
+
+let export_jsonl t buf = export_jsonl_events (events t) buf
 
 (* Chrome trace_event: each node is a process; slot/phase spans are
    async events ("b"/"e") keyed by a per-(node, seqno) local id so

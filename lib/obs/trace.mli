@@ -145,6 +145,10 @@ val escape_json : Buffer.t -> string -> unit
     byte-escaping rules — shared by every JSON writer in the tree so all
     of them survive arbitrary bytes identically. *)
 
+val export_jsonl_events : event list -> Buffer.t -> unit
+(** {!export_jsonl} for an explicit event list — the flight recorder uses
+    this to dump a bounded last-N window sliced out of a live ring. *)
+
 val export_jsonl : t -> Buffer.t -> unit
 (** One JSON object per line, field-for-field the {!event} record.
     Output is deterministic: events appear in emission order and all

@@ -24,6 +24,21 @@ type t = {
 let job_epilogue : (unit -> unit) Atomic.t = Atomic.make (fun () -> ())
 let set_job_epilogue f = Atomic.set job_epilogue f
 
+(* Called after each job of a batch completes, with the batch's running
+   completion count — the progress/ETA hook. Invoked under the batch
+   lock, so implementations must be quick and must not re-enter the
+   pool; exceptions are swallowed. Also fired on the sequential
+   [jobs <= 1] paths so [--watch] output looks the same either way. *)
+let job_notifier : (completed:int -> total:int -> unit) option Atomic.t =
+  Atomic.make None
+
+let set_job_notifier f = Atomic.set job_notifier f
+
+let notify ~completed ~total =
+  match Atomic.get job_notifier with
+  | None -> ()
+  | Some f -> ( try f ~completed ~total with _ -> ())
+
 let default_jobs () =
   let from_env =
     match Sys.getenv_opt "POE_JOBS" with
@@ -110,6 +125,7 @@ let run_jobs t thunks =
             Mutex.lock batch.bm;
             batch.results.(i) <- Some r;
             batch.remaining <- batch.remaining - 1;
+            notify ~completed:(n - batch.remaining) ~total:n;
             if batch.remaining = 0 then Condition.signal batch.all_done;
             Mutex.unlock batch.bm)
           t.queue)
@@ -137,15 +153,29 @@ let reraise_first results =
 let map t f xs = reraise_first (run_jobs t (List.map (fun x () -> f x) xs))
 
 let run_list ~jobs thunks =
-  if jobs <= 1 then
+  if jobs <= 1 then begin
     (* Sequential path: same domain, same domain-local observability
        state, no pool machinery at all. *)
-    List.map (fun thunk -> try Ok (thunk ()) with e -> Error e) thunks
+    let total = List.length thunks in
+    List.mapi
+      (fun i thunk ->
+        let r = try Ok (thunk ()) with e -> Error e in
+        notify ~completed:(i + 1) ~total;
+        r)
+      thunks
+  end
   else begin
     let pool = create ~jobs:(min jobs (max 1 (List.length thunks))) in
     Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> run_jobs pool thunks)
   end
 
 let map_list ~jobs f xs =
-  if jobs <= 1 then List.map f xs
+  if jobs <= 1 then
+    let total = List.length xs in
+    List.mapi
+      (fun i x ->
+        let y = f x in
+        notify ~completed:(i + 1) ~total;
+        y)
+      xs
   else reraise_first (run_list ~jobs (List.map (fun x () -> f x) xs))

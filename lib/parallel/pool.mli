@@ -32,6 +32,16 @@ val set_job_epilogue : (unit -> unit) -> unit
     can read its own domain-local state directly). Exceptions from the
     epilogue are swallowed. *)
 
+val set_job_notifier : (completed:int -> total:int -> unit) option -> unit
+(** Install (or clear) a progress callback fired after each job of a
+    batch completes, with the batch's running completion count and the
+    batch size. Fired on both the pooled and the sequential
+    [jobs <= 1] paths so progress output is job-count independent. On
+    the pooled path it runs under the batch's result lock — keep it
+    quick, never re-enter the pool from it. Exceptions are swallowed.
+    Must only print to stderr (or otherwise stay off artifact streams):
+    invocation {e order} across workers is host-scheduling dependent. *)
+
 val default_jobs : unit -> int
 (** The job-count knob: the [POE_JOBS] environment variable if set (and a
     positive integer), otherwise

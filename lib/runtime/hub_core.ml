@@ -68,6 +68,11 @@ let node_id t = t.config.Config.n + t.hub
 let believed_view t = t.believed_view
 let outstanding t = Hashtbl.length t.outstanding
 let completed t = t.completed
+
+let oldest_outstanding_age t ~now =
+  Hashtbl.fold
+    (fun _ rs acc -> Float.max acc (now -. rs.first_sent))
+    t.outstanding 0.0
 let config t = t.config
 let now t = Engine.now t.engine
 

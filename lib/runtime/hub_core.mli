@@ -73,6 +73,12 @@ val outstanding : t -> int
 val completed : t -> int
 (** Requests completed at this hub (all time). *)
 
+val oldest_outstanding_age : t -> now:float -> float
+(** Seconds since the oldest still-unanswered request was first sent
+    (0 with nothing outstanding) — the heartbeat sampler's
+    starvation indicator: it keeps growing exactly when some client is
+    stuck behind a stalled cluster. O(outstanding); heartbeat-rate only. *)
+
 (** {1 For protocol hooks} *)
 
 val config : t -> Config.t

@@ -6,6 +6,10 @@ type t = {
   queue : timer Event_queue.t;
   root_rng : Rng.t;
   mutable processed : int;
+  mutable step_budget : int option;
+      (* remaining events this engine may still process; [Some 0] freezes
+         the engine (step/run become no-ops) so a hung simulation
+         terminates in bounded host time instead of spinning forever *)
 }
 
 let create ?(seed = 42) () =
@@ -14,6 +18,7 @@ let create ?(seed = 42) () =
     queue = Event_queue.create ();
     root_rng = Rng.create seed;
     processed = 0;
+    step_budget = None;
   }
 
 let now t = t.clock
@@ -30,18 +35,27 @@ let cancel timer = timer.fire <- None
 
 let is_pending timer = timer.fire <> None
 
+let set_step_budget t budget = t.step_budget <- budget
+
+let budget_exhausted t = t.step_budget = Some 0
+
 let step t =
-  match Event_queue.pop t.queue with
-  | None -> false
-  | Some (time, timer) ->
-      t.clock <- time;
-      t.processed <- t.processed + 1;
-      (match timer.fire with
-      | None -> ()
-      | Some f ->
-          timer.fire <- None;
-          f ());
-      true
+  if budget_exhausted t then false
+  else
+    match Event_queue.pop t.queue with
+    | None -> false
+    | Some (time, timer) ->
+        t.clock <- time;
+        t.processed <- t.processed + 1;
+        (match t.step_budget with
+        | Some b -> t.step_budget <- Some (b - 1)
+        | None -> ());
+        (match timer.fire with
+        | None -> ()
+        | Some f ->
+            timer.fire <- None;
+            f ());
+        true
 
 let run ?until t =
   let continue = ref true in
@@ -51,7 +65,7 @@ let run ?until t =
     | Some time, Some limit when time > limit ->
         t.clock <- limit;
         continue := false
-    | Some _, _ -> ignore (step t)
+    | Some _, _ -> if not (step t) then continue := false
   done
 
 let pending_events t = Event_queue.size t.queue

@@ -37,3 +37,20 @@ val pending_events : t -> int
 
 val processed_events : t -> int
 (** Total events executed since creation (performance diagnostics). *)
+
+(** {1 Step budget}
+
+    A hard upper bound on the number of further events the engine may
+    process — the last-resort liveness guard for runs that would
+    otherwise spin forever in host time (e.g. a pathological zero-delay
+    timer loop where simulated time stops advancing). Orthogonal to
+    [~until], which bounds {e simulated} time. *)
+
+val set_step_budget : t -> int option -> unit
+(** [Some k] allows [k] more events ([run]/[step] then stop processing);
+    [None] (the default) removes the bound. *)
+
+val budget_exhausted : t -> bool
+(** The budget reached zero: the engine is frozen and {!run}/{!step} are
+    no-ops. Callers (the chaos runner's watchdog) should treat this as a
+    stall, not as completion. *)

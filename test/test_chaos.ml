@@ -308,6 +308,151 @@ let test_forensics_on_violation () =
           Alcotest.(check string) "byte-identical forensic report" text
             (An.Report.forensics_to_string f'))
 
+(* ------------------------------------------------------------------ *)
+(* Liveness: the stall watchdog as a first-class verdict               *)
+
+module Live = Poe_live
+
+(* SBFT and Zyzzyva have no replica-driven view change ([on_suspect] is
+   a no-op), so silencing the primary stalls them forever. The watchdog
+   must turn that hang into a [stall] verdict (exit 3) instead of
+   letting the run grind to the horizon. *)
+let silence_primary_at t =
+  {
+    Schedule.at = t;
+    action = Schedule.Set_byzantine { replica = 0; byz = Schedule.Silent };
+  }
+
+let stall_case (module P : R.Protocol_intf.S) =
+  let test () =
+    let module Ch = Runner.Make (P) in
+    let params = Ch.default_params ~seed:5 ~n:4 in
+    let o =
+      Ch.run ~horizon:2.0 ~drain:0.5 ~stall_window:0.5 ~params
+        ~schedule:[ silence_primary_at 0.3 ] ()
+    in
+    (match o.Ch.stall with
+    | None -> Alcotest.failf "%s: silenced primary did not stall" P.name
+    | Some s ->
+        Alcotest.(check string) "stall reason" "no-commit-progress"
+          s.Live.Watchdog.s_reason;
+        Alcotest.(check bool) "requests stuck behind the stall" true
+          (s.Live.Watchdog.s_outstanding > 0);
+        Alcotest.(check bool)
+          (Printf.sprintf "latched promptly (t=%.2f)" s.Live.Watchdog.s_at)
+          true
+          (s.Live.Watchdog.s_at < 2.0));
+    Alcotest.(check bool) "no safety violation" true (o.Ch.violation = None);
+    Alcotest.(check string) "verdict" "stall" (Ch.verdict o);
+    Alcotest.(check int) "exit code" 3 (Ch.exit_code o)
+  in
+  Alcotest.test_case (P.name ^ " stalls on silent primary") `Slow test
+
+let test_step_budget_stall () =
+  let module Ch = Runner.Make (Poe_pbft.Pbft_protocol) in
+  let params = Ch.default_params ~seed:5 ~n:4 in
+  let o =
+    Ch.run ~horizon:2.0 ~drain:0.5 ~step_budget:500 ~params ~schedule:[] ()
+  in
+  (match o.Ch.stall with
+  | None -> Alcotest.fail "exhausted step budget did not latch a stall"
+  | Some s ->
+      Alcotest.(check string) "stall reason" "step-budget"
+        s.Live.Watchdog.s_reason);
+  Alcotest.(check int) "exit code" 3 (Ch.exit_code o)
+
+let test_no_false_stall () =
+  (* A healthy cluster with the watchdog armed must stay clean: steady
+     progress keeps resetting the window, and the drained idle tail
+     (zero outstanding) must not count as a stall. *)
+  let module Ch = Runner.Make (Poe_pbft.Pbft_protocol) in
+  let params = Ch.default_params ~seed:5 ~n:4 in
+  let o = Ch.run ~horizon:1.0 ~drain:0.8 ~stall_window:0.3 ~params ~schedule:[] () in
+  Alcotest.(check bool) "no stall" true (o.Ch.stall = None);
+  Alcotest.(check bool) "no violation" true (o.Ch.violation = None);
+  Alcotest.(check string) "verdict" "clean" (Ch.verdict o);
+  Alcotest.(check int) "exit code" 0 (Ch.exit_code o);
+  Alcotest.(check bool) "made progress" true (o.Ch.completed > 0)
+
+let test_stall_minimized () =
+  (* The greedy minimizer works for stalls too: pass a stall oracle and
+     the same stall window, and the silent-primary flip survives while
+     the decoy faults are shrunk away. *)
+  let module Ch = Runner.Make (Poe_sbft.Sbft_protocol) in
+  let params = Ch.default_params ~seed:5 ~n:4 in
+  let noisy =
+    Schedule.sort
+      [
+        { Schedule.at = 0.1; action = Schedule.Block_link { src = 3; dst = 2 } };
+        silence_primary_at 0.3;
+        {
+          Schedule.at = 0.4;
+          action = Schedule.Latency_surge { factor = 2.0; until = 0.6 };
+        };
+        { Schedule.at = 0.5; action = Schedule.Unblock_link { src = 3; dst = 2 } };
+        { Schedule.at = 1.6; action = Schedule.Crash 2 };
+      ]
+  in
+  let o =
+    Ch.run ~horizon:2.0 ~drain:0.5 ~stall_window:0.5 ~params ~schedule:noisy ()
+  in
+  match o.Ch.stall with
+  | None -> Alcotest.fail "noisy schedule did not stall"
+  | Some s ->
+      let minimal, oracle_runs =
+        Ch.minimize ~horizon:2.0 ~drain:0.5 ~stall_window:0.5
+          ~check:(fun o -> o.Ch.stall <> None)
+          ~params ~schedule:noisy ~violation_at:s.Live.Watchdog.s_at ()
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "minimized to %d action(s) in %d runs"
+           (List.length minimal) oracle_runs)
+        true
+        (List.length minimal < List.length noisy);
+      Alcotest.(check bool) "silent flip survives minimization" true
+        (List.exists
+           (fun { Schedule.action; _ } ->
+             match action with
+             | Schedule.Set_byzantine { replica = 0; byz = Schedule.Silent } ->
+                 true
+             | _ -> false)
+           minimal);
+      let o' =
+        Ch.run ~horizon:2.0 ~drain:0.5 ~stall_window:0.5 ~params
+          ~schedule:minimal ()
+      in
+      Alcotest.(check bool) "minimal schedule still stalls" true
+        (o'.Ch.stall <> None)
+
+let test_heartbeat_determinism () =
+  (* The heartbeat JSONL stream is a pure function of the seed: sweeping
+     the same seeds at different job counts yields byte-identical
+     streams once the wall-clock field is stripped. *)
+  let module Ch = Runner.Make (Poe_pbft.Pbft_protocol) in
+  let seeds = [ 61; 62; 63 ] in
+  let sweep jobs =
+    Ch.run_sweep ~horizon:1.0 ~drain:0.6 ~heartbeat_interval:0.1 ~jobs ~seeds
+      ()
+    |> List.map (fun (seed, o) ->
+           (seed, Live.Heartbeat.strip_unstable o.Ch.heartbeats))
+  in
+  let seq = sweep 1 and par = sweep 4 in
+  List.iter2
+    (fun (seed, a) (seed', b) ->
+      Alcotest.(check int) "seed order preserved" seed seed';
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d heartbeats non-empty" seed)
+        true (a <> "");
+      Alcotest.(check string)
+        (Printf.sprintf "seed %d byte-identical across job counts" seed)
+        a b)
+    seq par;
+  (* And distinct seeds produce distinct streams (the probe is real). *)
+  match seq with
+  | (_, a) :: (_, b) :: _ ->
+      Alcotest.(check bool) "different seeds differ" true (a <> b)
+  | _ -> Alcotest.fail "sweep lost seeds"
+
 let () =
   Alcotest.run "chaos"
     [
@@ -335,5 +480,18 @@ let () =
             test_broken_protocol_caught_and_minimized;
           Alcotest.test_case "forensic report on violation" `Quick
             test_forensics_on_violation;
+        ] );
+      ( "liveness",
+        [
+          stall_case (module Poe_sbft.Sbft_protocol);
+          stall_case (module Poe_zyzzyva.Zyzzyva_protocol);
+          Alcotest.test_case "step budget latches a stall" `Quick
+            test_step_budget_stall;
+          Alcotest.test_case "healthy cluster never false-stalls" `Slow
+            test_no_false_stall;
+          Alcotest.test_case "stall schedules minimize" `Slow
+            test_stall_minimized;
+          Alcotest.test_case "heartbeats byte-identical across jobs" `Slow
+            test_heartbeat_determinism;
         ] );
     ]
