@@ -399,8 +399,10 @@ let silence_primary_arg =
         ~doc:
           "Inject an extra schedule entry making replica 0 (the initial \
            primary) byzantine-silent at simulated time $(docv) — the \
-           canonical stall reproducer for protocols without working \
-           primary suspicion (SBFT, Zyzzyva).")
+           canonical primary-failover exercise: every protocol must \
+           detect the silence, change view and resume commits inside \
+           the stall window. The silenced replica pre-consumes the \
+           generated schedule's fault budget.")
 
 let silence_extra = function
   | None -> []

@@ -19,9 +19,13 @@ let default_profile =
     latency_surges = 1;
   }
 
+(* Every protocol now survives a byzantine primary: PoE, PBFT and
+   HotStuff always did; SBFT and Zyzzyva gained real view changes (the
+   recovery layer's watch timeouts — plus Zyzzyva's retry-persistence
+   detector for equivocation — drive replica-initiated failover). *)
 let byzantine_ok ~protocol =
   match protocol with
-  | "poe" | "pbft" | "hotstuff" -> true
+  | "poe" | "pbft" | "hotstuff" | "sbft" | "zyzzyva" -> true
   | _ -> false
 
 (* Fault intervals (replica, start, end) drive the <= f budget. *)
@@ -46,12 +50,16 @@ let budget_ok ~f intervals ~extra (t0, t1) =
       live + extra <= f)
     points
 
-let generate ?(profile = default_profile) ~seed ~n ~byzantine ~horizon () =
+let generate ?(profile = default_profile) ?(reserved = []) ~seed ~n ~byzantine
+    ~horizon () =
   let f = (n - 1) / 3 in
   let rng = Rng.create seed in
   let entries = ref [] in
   let add at action = entries := { Schedule.at; action } :: !entries in
-  let intervals = ref [] in
+  (* Externally injected faults (e.g. --silence-primary) pre-consume the
+     budget so the generated schedule composed with them still never
+     exceeds f concurrent faults. *)
+  let intervals = ref reserved in
   (* Episode windows live in [0.10, 0.90] * horizon so the run both warms
      up cleanly and winds down cleanly. *)
   let draw_window () =

@@ -29,13 +29,15 @@ type profile = {
 val default_profile : profile
 
 val byzantine_ok : protocol:string -> bool
-(** Whether a protocol tolerates byzantine behavior flips at all. SBFT and
-    Zyzzyva have no replica-driven view change ([on_suspect] is a no-op:
-    client-side recovery only), so a byzantine primary stalls or splits
-    them forever — the generator must stick to crash faults for them. *)
+(** Whether a protocol tolerates byzantine behavior flips. [true] for all
+    five protocols: every one now has a replica-driven view change, so a
+    byzantine primary costs at most a failover. (Historically [false] for
+    SBFT and Zyzzyva, whose [on_suspect] used to be a no-op.) The hook is
+    kept for future protocols that genuinely cannot absorb flips. *)
 
 val generate :
   ?profile:profile ->
+  ?reserved:(int * float * float) list ->
   seed:int ->
   n:int ->
   byzantine:bool ->
@@ -43,4 +45,9 @@ val generate :
   unit ->
   Schedule.t
 (** [horizon] is the active window: every injected fault is cured by then.
-    [byzantine] gates behavior flips (pass [byzantine_ok ~protocol]). *)
+    [byzantine] gates behavior flips (pass [byzantine_ok ~protocol]).
+    [reserved] lists [(replica, from, until)] fault intervals injected
+    from outside the generator (e.g. a forced primary silencing): they
+    pre-consume the fault budget, so composing the generated schedule
+    with those faults still never exceeds f concurrently faulty
+    replicas. *)

@@ -46,7 +46,12 @@ module Make (P : R.Protocol_intf.S) = struct
   let exit_code o =
     if o.violation <> None then 1 else if o.stall <> None then 3 else 0
 
-  let speculative = String.equal P.name "poe"
+  (* Speculative protocols execute before agreement settles, so mid-run
+     divergence (e.g. under an equivocating primary) is legal until the
+     view change rolls the losing branch back — the auditor must restrict
+     cross-replica comparison to certified prefixes for them. *)
+  let speculative =
+    String.equal P.name "poe" || String.equal P.name "zyzzyva"
 
   let default_params ~seed ~n =
     let config =
@@ -310,8 +315,20 @@ module Make (P : R.Protocol_intf.S) = struct
       ?(extra = []) ~seed () =
     let params = default_params ~seed ~n in
     let horizon_v = Option.value horizon ~default:2.0 in
+    (* Faults forced via [extra] reserve their replica's budget slot for
+       the whole rest of the run (extras carry no cure entries), so the
+       generator never piles a second concurrent fault on top. *)
+    let reserved =
+      List.filter_map
+        (fun e ->
+          match e.Schedule.action with
+          | Schedule.Crash r | Schedule.Set_byzantine { replica = r; _ } ->
+              Some (r, e.Schedule.at, infinity)
+          | _ -> None)
+        extra
+    in
     let generated =
-      Generator.generate ?profile ~seed ~n
+      Generator.generate ?profile ~reserved ~seed ~n
         ~byzantine:(Generator.byzantine_ok ~protocol:P.name)
         ~horizon:horizon_v ()
     in

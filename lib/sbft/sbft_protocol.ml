@@ -15,15 +15,35 @@ let name = "sbft"
 module Trace = Poe_obs.Trace
 module Metrics = Poe_obs.Metrics
 
+(* View-change summary: executed prefix above the stable checkpoint, plus
+   two certificate strengths for in-flight slots — [certified] (a commit
+   proof for the slot was seen: the linearized equivalent of PBFT's
+   prepared certificates) and [shared] (this replica signed a share for
+   the slot; the fast path commits on n of these, so f+1 matching shared
+   claims witness any fast-path commit). *)
+type vc_payload = {
+  from_view : int;
+  exec_upto : int;
+  executed : Message.exec_entry list;
+  certified : Message.exec_entry list;
+  shared : Message.exec_entry list;
+}
+
 type Message.t +=
-  | S_preprepare of { seqno : int; batch : Message.batch }
-  | S_share of { seqno : int; digest : string }     (* replica -> collector *)
-  | S_commit_proof of { seqno : int; digest : string; full : bool }
+  | S_preprepare of { view : int; seqno : int; batch : Message.batch }
+  | S_share of { view : int; seqno : int; digest : string }
+      (* replica -> collector *)
+  | S_commit_proof of { view : int; seqno : int; digest : string; full : bool }
       (* collector -> all; [full] = fast path (all n shares) *)
-  | S_share2 of { seqno : int; digest : string }    (* slow path, 2nd round *)
-  | S_final_proof of { seqno : int; digest : string }
+  | S_share2 of { view : int; seqno : int; digest : string }
+      (* slow path, 2nd round *)
+  | S_final_proof of { view : int; seqno : int; digest : string }
   | S_exec_share of { seqno : int; result : string } (* replica -> executor *)
   | S_exec_proof of { seqno : int; result : string } (* executor -> all *)
+  | S_view_change of { payload : vc_payload }
+  | S_new_view of { new_view : int; vcs : (int * vc_payload) list }
+  | S_nv_request of { view : int }
+      (* straggler -> peer: please retransmit the NEW-VIEW for [view] *)
 
 (* Collector-side per-slot state. *)
 type coll_slot = {
@@ -34,13 +54,20 @@ type coll_slot = {
   mutable timer_armed : bool;
 }
 
+type pending_proof = P_first of string * bool | P_final of string
+
 (* Replica-side per-slot state. *)
 type slot = {
   mutable batch : Message.batch option;
   mutable share_sent : bool;
+  mutable certified : bool;  (* some commit proof for this slot was seen *)
   mutable committed : bool;  (* commit proof received -> execute *)
   mutable offered : bool;
+  mutable pending_proof : pending_proof option;
+      (* proof that raced ahead of the NEW-VIEW activating its view *)
 }
+
+type status = Active | In_view_change of int (* from_view *)
 
 type replica = {
   ctx : Ctx.t;
@@ -48,16 +75,47 @@ type replica = {
   mutable pipeline : Pipeline.t;
   mutable recovery : Recovery.t;
   slots : (int, slot) Hashtbl.t;
-  coll : (int, coll_slot) Hashtbl.t;      (* collector only *)
+      (* keyed by (view, seqno) packed into one int: view lsl 40 lor seqno *)
+  coll : (int, coll_slot) Hashtbl.t;      (* collector only, same key *)
   exec_shares : (int, (int, string) Hashtbl.t) Hashtbl.t; (* executor only *)
   exec_results : (int, Message.batch * string) Hashtbl.t;
-      (* executor: own execution output awaiting aggregation *)
-  mutable exec_proof_sent : (int, unit) Hashtbl.t;
+      (* own execution output per slot, kept by every replica (GCed at
+         the stable checkpoint) so whichever replica is executor — now
+         or after a failover — can aggregate and answer the clients *)
+  exec_proof_sent : (int, unit) Hashtbl.t;
+  reply_cache : (int, int * int * string) Hashtbl.t;
+      (* client slot (hub lsl 19 lor client) -> (rid, seqno, result) of
+         the last aggregate response sent to that client. Clients are
+         closed-loop, so one cached reply per client heals any lost
+         single aggregate response on retry — even after checkpoint GC
+         has dropped the batch itself (PBFT's classic reply cache). *)
+  exec_rids : (int, int) Hashtbl.t;
+      (* client slot -> highest executed rid. Clients are closed-loop,
+         so a client whose latest request executed but was never
+         answered is stuck at that rid forever — visible locally to
+         every replica, without observing the (hub-bound) responses. *)
+  retries : (int, float) Hashtbl.t;
+      (* executed requests with a pending stuck-client check: a retry of
+         an executed request schedules one; if the client has made no
+         rid progress by then, the executor failed after consensus
+         finished — the one failure the quorum path cannot see — and we
+         rotate the view (and with it the executor role) *)
   mutable next_seqno : int;
+  mutable view : int;
+  mutable status : status;
+  vc_store : (int, (int, vc_payload) Hashtbl.t) Hashtbl.t;
+      (* from_view -> sender -> payload *)
+  mutable vc_round : int;
+  mutable nv_deadline : float;
+  mutable nv_sent_for : int;
+  mutable last_nv : (int * (int * vc_payload) list) option;
+  mutable vc_phase_slot : int;
+      (* slot carrying the open "view_change" phase span *)
 }
 
 let ctx t = t.ctx
-let current_view _ = 0
+let current_view t = t.view
+let view_of = current_view
 let k_exec t = Exec.k_exec t.exec
 let cfg t = Ctx.config t.ctx
 let costs t = Ctx.cost t.ctx
@@ -65,29 +123,59 @@ let nf t = Config.nf (cfg t)
 let fq t = Config.f (cfg t)
 let n t = (cfg t).Config.n
 
-let primary_id = 0
-let collector t = 1 mod n t
-let executor t = 2 mod n t
+(* View-relative roles (the paper recommends distinct primary / collector /
+   executor replicas, §IV-A); rotating all three with the view restores
+   liveness whichever of them fails. *)
+let primary_of t view = Config.primary_of_view (cfg t) view
+let collector_of t view = (primary_of t view + 1) mod n t
+let executor_of t view = (primary_of t view + 2) mod n t
 
-let is_primary t = Ctx.id t.ctx = primary_id
-let is_collector t = Ctx.id t.ctx = collector t
-let is_executor t = Ctx.id t.ctx = executor t
+let is_primary t = Ctx.is_primary_of t.ctx t.view
+let is_collector_of t view = Ctx.id t.ctx = collector_of t view
+let is_executor t = Ctx.id t.ctx = executor_of t t.view
+let active_in t view = t.status = Active && view = t.view
 
-let tr_phase t ~seqno phase =
-  Ctx.trace_phase t.ctx ~cat:name ~view:0 ~seqno phase
+let in_view_change t =
+  match t.status with Active -> false | In_view_change _ -> true
 
-let slot_of t seqno =
-  match Hashtbl.find_opt t.slots seqno with
+let stable_seqno t = Exec.stable t.exec
+
+let slot_key ~view ~seqno = (view lsl 40) lor seqno
+let slot_key_view key = key lsr 40
+let slot_key_seqno key = key land ((1 lsl 40) - 1)
+
+let tr_phase t ~view ~seqno phase =
+  Ctx.trace_phase t.ctx ~cat:name ~view ~seqno phase
+
+let tr_instant t what = Ctx.trace_instant t.ctx ~cat:name ~view:t.view what
+
+let entries_consecutive entries =
+  let rec go = function
+    | [] | [ _ ] -> true
+    | (a : Message.exec_entry) :: (b :: _ as rest) ->
+        b.Message.e_seqno = a.Message.e_seqno + 1 && go rest
+  in
+  go entries
+
+let slot_of t ~view ~seqno =
+  match Hashtbl.find_opt t.slots (slot_key ~view ~seqno) with
   | Some s -> s
   | None ->
       let s =
-        { batch = None; share_sent = false; committed = false; offered = false }
+        {
+          batch = None;
+          share_sent = false;
+          certified = false;
+          committed = false;
+          offered = false;
+          pending_proof = None;
+        }
       in
-      Hashtbl.replace t.slots seqno s;
+      Hashtbl.replace t.slots (slot_key ~view ~seqno) s;
       s
 
-let coll_slot_of t seqno =
-  match Hashtbl.find_opt t.coll seqno with
+let coll_slot_of t ~view ~seqno =
+  match Hashtbl.find_opt t.coll (slot_key ~view ~seqno) with
   | Some s -> s
   | None ->
       let s =
@@ -99,14 +187,14 @@ let coll_slot_of t seqno =
           timer_armed = false;
         }
       in
-      Hashtbl.replace t.coll seqno s;
+      Hashtbl.replace t.coll (slot_key ~view ~seqno) s;
       s
 
-let maybe_execute t seqno slot =
+let maybe_execute t ~view ~seqno slot =
   match slot.batch with
   | Some batch when slot.committed && not slot.offered ->
       slot.offered <- true;
-      Exec.offer t.exec ~seqno ~view:0 ~batch
+      Exec.offer t.exec ~seqno ~view ~batch
         ~proof:(Block.Threshold_sig "sbft-commit")
   | Some _ | None -> ()
 
@@ -118,18 +206,18 @@ let matching_count bucket digest =
     (fun _ d acc -> if String.equal d digest then acc + 1 else acc)
     bucket 0
 
-let send_proof t ~seqno ~digest ~full =
+let send_proof t ~view ~seqno ~digest ~full =
   let c = costs t in
   Ctx.work t.ctx Server.Worker
     ~cost:(Cost.combine_cost c ~shares:(if full then n t else nf t))
     (fun () ->
       Ctx.broadcast_replicas t.ctx ~include_self:true ~bytes:Message.Wire.vote
-        (S_commit_proof { seqno; digest; full }))
+        (S_commit_proof { view; seqno; digest; full }))
 
 (* The collector's twin-path decision: all n shares -> fast path; on
    timeout with >= nf -> slow path (two extra linear phases). *)
-let collector_check t seqno =
-  let cs = coll_slot_of t seqno in
+let collector_check t ~view ~seqno =
+  let cs = coll_slot_of t ~view ~seqno in
   if not cs.proof_sent then begin
     let candidates =
       Hashtbl.fold (fun _ d acc -> d :: acc) cs.shares []
@@ -148,13 +236,13 @@ let collector_check t seqno =
     | Some (digest, count) when count >= n t ->
         cs.proof_sent <- true;
         cs.final_sent <- true; (* fast path needs no second round *)
-        send_proof t ~seqno ~digest ~full:true
+        send_proof t ~view ~seqno ~digest ~full:true
     | Some _ | None -> ()
   end
 
-let rec collector_timeout t seqno =
-  let cs = coll_slot_of t seqno in
-  if not cs.proof_sent then begin
+let rec collector_timeout t ~view ~seqno =
+  let cs = coll_slot_of t ~view ~seqno in
+  if (not cs.proof_sent) && view >= t.view then begin
     let best =
       Hashtbl.fold
         (fun _ d acc ->
@@ -168,39 +256,41 @@ let rec collector_timeout t seqno =
     | Some (digest, count) when count >= nf t ->
         (* Slow path, phase 1: circulate the nf-aggregate for re-signing. *)
         cs.proof_sent <- true;
-        send_proof t ~seqno ~digest ~full:false
+        send_proof t ~view ~seqno ~digest ~full:false
     | Some _ | None ->
         (* Not even nf shares: keep waiting (e.g. proposals still in
-           flight); re-arm. *)
+           flight); re-arm — until a view change retires the view. *)
         ignore
           (Ctx.schedule t.ctx ~delay:(cfg t).Config.request_timeout (fun () ->
-               collector_timeout t seqno))
+               collector_timeout t ~view ~seqno))
   end
 
-let arm_collector_timer t seqno =
-  let cs = coll_slot_of t seqno in
+let arm_collector_timer t ~view ~seqno =
+  let cs = coll_slot_of t ~view ~seqno in
   if not cs.timer_armed then begin
     cs.timer_armed <- true;
     ignore
       (Ctx.schedule t.ctx ~delay:(cfg t).Config.request_timeout (fun () ->
-           collector_timeout t seqno))
+           collector_timeout t ~view ~seqno))
   end
 
-let on_share t ~src ~seqno ~digest =
-  if is_collector t then begin
-    let cs = coll_slot_of t seqno in
+let on_share t ~src ~view ~seqno ~digest =
+  (* The collector of a future view may legitimately aggregate before its
+     own NEW-VIEW arrives: the shares prove the view is live elsewhere. *)
+  if is_collector_of t view && view >= t.view then begin
+    let cs = coll_slot_of t ~view ~seqno in
     if not (Hashtbl.mem cs.shares src) then begin
       let c = costs t in
       Hashtbl.replace cs.shares src digest;
-      arm_collector_timer t seqno;
+      arm_collector_timer t ~view ~seqno;
       Ctx.work t.ctx Server.Worker ~cost:c.Cost.ts_share_verify (fun () ->
-          collector_check t seqno)
+          collector_check t ~view ~seqno)
     end
   end
 
-let on_share2 t ~src ~seqno ~digest =
-  if is_collector t then begin
-    let cs = coll_slot_of t seqno in
+let on_share2 t ~src ~view ~seqno ~digest =
+  if is_collector_of t view && view >= t.view then begin
+    let cs = coll_slot_of t ~view ~seqno in
     if not (Hashtbl.mem cs.shares2 src) then begin
       Hashtbl.replace cs.shares2 src digest;
       if (not cs.final_sent) && matching_count cs.shares2 digest >= nf t
@@ -212,7 +302,7 @@ let on_share2 t ~src ~seqno ~digest =
           (fun () ->
             Ctx.broadcast_replicas t.ctx ~include_self:true
               ~bytes:Message.Wire.vote
-              (S_final_proof { seqno; digest }))
+              (S_final_proof { view; seqno; digest }))
       end
     end
   end
@@ -220,66 +310,115 @@ let on_share2 t ~src ~seqno ~digest =
 (* ------------------------------------------------------------------ *)
 (* Replica roles                                                       *)
 
-let send_share t ~seqno (batch : Message.batch) =
-  let slot = slot_of t seqno in
+let send_share t ~view ~seqno (batch : Message.batch) =
+  let slot = slot_of t ~view ~seqno in
   if not slot.share_sent then begin
     slot.share_sent <- true;
     slot.batch <- Some batch;
-    tr_phase t ~seqno "propose";
+    tr_phase t ~view ~seqno "propose";
     let c = costs t in
     let cpu =
       Cost.hash_cost c ~bytes:(Message.Wire.propose (cfg t))
       +. c.Cost.ts_share_sign
     in
     Ctx.work t.ctx Server.Worker ~cost:cpu (fun () ->
-        tr_phase t ~seqno "share";
-        Ctx.send_replica t.ctx ~dst:(collector t) ~bytes:Message.Wire.vote
-          (S_share { seqno; digest = batch.Message.digest }))
+        tr_phase t ~view ~seqno "share";
+        Ctx.send_replica t.ctx ~dst:(collector_of t view)
+          ~bytes:Message.Wire.vote
+          (S_share { view; seqno; digest = batch.Message.digest }))
   end
 
-let on_preprepare t ~src ~seqno (batch : Message.batch) =
-  if src = primary_id then send_share t ~seqno batch
+let process_first_proof t ~view ~seqno slot ~digest ~full =
+  if full then begin
+    if not slot.committed then begin
+      let c = costs t in
+      Ctx.work t.ctx Server.Worker ~cost:c.Cost.ts_verify (fun () ->
+          slot.committed <- true;
+          tr_phase t ~view ~seqno "commit";
+          maybe_execute t ~view ~seqno slot)
+    end
+  end
+  else begin
+    (* Slow path: re-sign the aggregate (second share round). *)
+    if Trace.enabled () then
+      Trace.instant ~ts:(Ctx.now t.ctx) ~node:(Ctx.id t.ctx) ~cat:name
+        ~seqno "slow_path";
+    if Metrics.enabled () then Metrics.cincr "sbft.slow_paths";
+    let c = costs t in
+    Ctx.work t.ctx Server.Worker
+      ~cost:(c.Cost.ts_verify +. c.Cost.ts_share_sign)
+      (fun () ->
+        Ctx.send_replica t.ctx ~dst:(collector_of t view)
+          ~bytes:Message.Wire.vote
+          (S_share2 { view; seqno; digest }))
+  end
 
-let on_commit_proof t ~seqno ~digest ~full =
-  let slot = slot_of t seqno in
-  match slot.batch with
-  | Some batch when String.equal batch.Message.digest digest ->
-      if full then begin
-        if not slot.committed then begin
-          let c = costs t in
-          Ctx.work t.ctx Server.Worker ~cost:c.Cost.ts_verify (fun () ->
-              slot.committed <- true;
-              tr_phase t ~seqno "commit";
-              maybe_execute t seqno slot)
-        end
-      end
-      else begin
-        (* Slow path: re-sign the aggregate (second share round). *)
-        if Trace.enabled () then
-          Trace.instant ~ts:(Ctx.now t.ctx) ~node:(Ctx.id t.ctx) ~cat:name
-            ~seqno "slow_path";
-        if Metrics.enabled () then Metrics.cincr "sbft.slow_paths";
-        let c = costs t in
-        Ctx.work t.ctx Server.Worker
-          ~cost:(c.Cost.ts_verify +. c.Cost.ts_share_sign)
-          (fun () ->
-            Ctx.send_replica t.ctx ~dst:(collector t) ~bytes:Message.Wire.vote
-              (S_share2 { seqno; digest }))
-      end
-  | Some _ | None -> ()
+let process_final_proof t ~view ~seqno slot =
+  if not slot.committed then begin
+    let c = costs t in
+    Ctx.work t.ctx Server.Worker ~cost:c.Cost.ts_verify (fun () ->
+        slot.committed <- true;
+        tr_phase t ~view ~seqno "commit";
+        maybe_execute t ~view ~seqno slot)
+  end
 
-let on_final_proof t ~seqno ~digest =
-  let slot = slot_of t seqno in
-  match slot.batch with
-  | Some batch when String.equal batch.Message.digest digest ->
-      if not slot.committed then begin
-        let c = costs t in
-        Ctx.work t.ctx Server.Worker ~cost:c.Cost.ts_verify (fun () ->
-            slot.committed <- true;
-            tr_phase t ~seqno "commit";
-            maybe_execute t seqno slot)
-      end
-  | Some _ | None -> ()
+let on_commit_proof t ~src ~view ~seqno ~digest ~full =
+  if view >= t.view && src = collector_of t view then begin
+    let slot = slot_of t ~view ~seqno in
+    match slot.batch with
+    | Some batch when String.equal batch.Message.digest digest ->
+        (* Any commit proof is a certificate for the view-change summary,
+           whether or not the slot ever executes in this view. *)
+        slot.certified <- true;
+        if active_in t view then
+          process_first_proof t ~view ~seqno slot ~digest ~full
+        else if view > t.view then slot.pending_proof <- Some (P_first (digest, full))
+    | Some _ | None -> ()
+  end
+
+let on_final_proof t ~src ~view ~seqno ~digest =
+  if view >= t.view && src = collector_of t view then begin
+    let slot = slot_of t ~view ~seqno in
+    match slot.batch with
+    | Some batch when String.equal batch.Message.digest digest ->
+        slot.certified <- true;
+        if active_in t view then process_final_proof t ~view ~seqno slot
+        else if view > t.view then slot.pending_proof <- Some (P_final digest)
+    | Some _ | None -> ()
+  end
+
+let on_preprepare t ~src ~view ~seqno (batch : Message.batch) =
+  if
+    view >= t.view
+    && src = primary_of t view
+    && not (Ctx.is_primary_of t.ctx view)
+  then begin
+    let slot = slot_of t ~view ~seqno in
+    if slot.batch = None then begin
+      slot.batch <- Some batch;
+      if active_in t view then send_share t ~view ~seqno batch
+    end
+  end
+
+let activate_pending_slots t =
+  let view = t.view in
+  Hashtbl.iter
+    (fun key slot ->
+      if slot_key_view key = view then begin
+        let seqno = slot_key_seqno key in
+        (match slot.batch with
+        | Some batch when not slot.share_sent -> send_share t ~view ~seqno batch
+        | Some _ | None -> ());
+        match slot.pending_proof with
+        | Some (P_first (digest, full)) ->
+            slot.pending_proof <- None;
+            process_first_proof t ~view ~seqno slot ~digest ~full
+        | Some (P_final _) ->
+            slot.pending_proof <- None;
+            process_final_proof t ~view ~seqno slot
+        | None -> ()
+      end)
+    (Hashtbl.copy t.slots)
 
 (* ------------------------------------------------------------------ *)
 (* Executor                                                            *)
@@ -312,14 +451,20 @@ let executor_respond t ~seqno ~result =
                 ~bytes:(Message.Wire.response config ~per_reqs:(List.length acks))
                 (Message.Exec_response
                    {
-                     view = 0;
+                     view = t.view;
                      seqno;
                      replica = Ctx.id t.ctx;
                      batch_digest = "";
                      result_digest = result;
                      acks;
                    }))
-            by_hub)
+            by_hub;
+          Array.iter
+            (fun (r : Message.request) ->
+              Hashtbl.replace t.reply_cache
+                ((r.Message.hub lsl 19) lor r.Message.client)
+                (r.Message.rid, seqno, result))
+            batch.Message.reqs)
   | Some _ | None -> ()
 
 let on_exec_share t ~src ~seqno ~result =
@@ -342,20 +487,23 @@ let on_exec_share t ~src ~seqno ~result =
 let on_executed t ~seqno ~batch ~result =
   if is_primary t then Pipeline.seqno_closed t.pipeline;
   Recovery.note_executed t.recovery ~seqno ~batch;
-  (* Send the execution share to the executor; the executor also keeps the
-     batch so it can answer the clients once f+1 shares agree. *)
-  if is_executor t then begin
-    Hashtbl.replace t.exec_results seqno (batch, result);
-    on_exec_share t ~src:(Ctx.id t.ctx) ~seqno ~result;
-    (match Hashtbl.find_opt t.exec_shares seqno with
-    | Some bucket when matching_count bucket result >= fq t + 1 ->
-        executor_respond t ~seqno ~result
-    | Some _ | None -> ())
-  end
+  (* Every replica keeps its own (batch, result): the executor needs it
+     to answer the clients once f+1 shares agree, and after an executor
+     failover whichever replica takes the role needs it retroactively. *)
+  Hashtbl.replace t.exec_results seqno (batch, result);
+  Array.iter
+    (fun (r : Message.request) ->
+      let slot = (r.Message.hub lsl 19) lor r.Message.client in
+      match Hashtbl.find_opt t.exec_rids slot with
+      | Some best when best >= r.Message.rid -> ()
+      | Some _ | None -> Hashtbl.replace t.exec_rids slot r.Message.rid)
+    batch.Message.reqs;
+  if is_executor t then on_exec_share t ~src:(Ctx.id t.ctx) ~seqno ~result
   else begin
     let c = costs t in
     Ctx.work t.ctx Server.Worker ~cost:c.Cost.ts_share_sign (fun () ->
-        Ctx.send_replica t.ctx ~dst:(executor t) ~bytes:Message.Wire.vote
+        Ctx.send_replica t.ctx ~dst:(executor_of t t.view)
+          ~bytes:Message.Wire.vote
           (S_exec_share { seqno; result }))
   end
 
@@ -363,14 +511,15 @@ let on_executed t ~seqno ~batch ~result =
 (* Primary                                                             *)
 
 let propose_batch t (batch : Message.batch) =
-  if Ctx.alive t.ctx && is_primary t then begin
+  if Ctx.alive t.ctx && t.status = Active && is_primary t then begin
     let seqno = t.next_seqno in
     t.next_seqno <- seqno + 1;
+    let view = t.view in
     (match Ctx.behavior t.ctx with
     | Ctx.Honest ->
         Ctx.broadcast_replicas t.ctx
           ~bytes:(Message.Wire.propose (cfg t))
-          (S_preprepare { seqno; batch })
+          (S_preprepare { view; seqno; batch })
     | Ctx.Silent | Ctx.Stop_proposing -> ()
     | Ctx.Keep_in_dark dark ->
         let dsts =
@@ -379,18 +528,457 @@ let propose_batch t (batch : Message.batch) =
         in
         Ctx.broadcast_to t.ctx ~dsts
           ~bytes:(Message.Wire.propose (cfg t))
-          (S_preprepare { seqno; batch })
+          (S_preprepare { view; seqno; batch })
     | Ctx.Equivocate ->
-        (* The collector's n-share fast quorum and nf slow quorum make a
-           split proposal unable to gather either; the slot stalls. *)
-        ());
-    send_share t ~seqno batch
+        (* Split proposal: the collector's n-share fast quorum and nf slow
+           quorum ensure at most one half can ever commit; the other
+           half's requests stall, watches fire, and the view change
+           re-proposes whatever certificate survives. *)
+        let me = Ctx.id t.ctx in
+        let others =
+          List.init (n t) (fun i -> i) |> List.filter (fun i -> i <> me)
+        in
+        let half = List.length others / 2 in
+        let left = List.filteri (fun i _ -> i < half) others in
+        let right = List.filteri (fun i _ -> i >= half) others in
+        let forged =
+          { batch with Message.digest = batch.Message.digest ^ "!equiv" }
+        in
+        let bytes = Message.Wire.propose (cfg t) in
+        Ctx.broadcast_to t.ctx ~dsts:left ~bytes
+          (S_preprepare { view; seqno; batch });
+        Ctx.broadcast_to t.ctx ~dsts:right ~bytes
+          (S_preprepare { view; seqno; batch = forged }));
+    send_share t ~view ~seqno batch
   end
 
+
+(* ------------------------------------------------------------------ *)
+(* View change                                                         *)
+
+(* The standard certificate-carrying new-view (the original's is "no less
+   expensive than PBFT", Fig. 10 of the paper): re-propose every slot a
+   certificate supports, null-fill gaps, and rotate primary, collector
+   and executor together.
+
+   Safety of the selection rule below:
+   - a slow-path commit at (v, k, d) required nf SHARE2s, each sent by a
+     replica that saw the phase-1 proof — so in any nf view-change
+     summaries at least one honest replica lists (v, k, d) as certified;
+   - a fast-path commit required shares from all n replicas, so every
+     honest replica lists (v, k, d) as shared: at least f+1 of any nf
+     summaries carry it, while conflicting claims for k come from at
+     most f faulty ones. Picking (in order) the highest-view certified
+     entry, then the shared digest with the most claims, therefore never
+     drops a committed slot. *)
+
+let vc_bucket t from_view =
+  match Hashtbl.find_opt t.vc_store from_view with
+  | Some h -> h
+  | None ->
+      let h = Hashtbl.create 8 in
+      Hashtbl.replace t.vc_store from_view h;
+      h
+
+let inflight_entries t =
+  Hashtbl.fold
+    (fun key slot acc ->
+      let seqno = slot_key_seqno key in
+      match slot.batch with
+      | Some batch when seqno > Exec.k_exec t.exec && slot.share_sent ->
+          let e =
+            { Message.e_seqno = seqno; e_view = slot_key_view key;
+              e_batch = batch }
+          in
+          if slot.certified then (e :: fst acc, snd acc)
+          else (fst acc, e :: snd acc)
+      | Some _ | None -> acc)
+    t.slots ([], [])
+
+let my_vc_payload t ~from_view =
+  let executed =
+    Exec.executed_since t.exec (Exec.stable t.exec)
+    |> List.map (fun (e_seqno, e_view, e_batch) ->
+           { Message.e_seqno; e_view; e_batch })
+  in
+  let certified, shared = inflight_entries t in
+  let by_seqno a b = compare a.Message.e_seqno b.Message.e_seqno in
+  {
+    from_view;
+    exec_upto = Exec.k_exec t.exec;
+    executed;
+    certified = List.sort by_seqno certified;
+    shared = List.sort by_seqno shared;
+  }
+
+let nv_deadline_for t =
+  (cfg t).Config.view_timeout *. float_of_int (1 lsl min t.vc_round 6)
+
+let request_nv t ~src ~view =
+  if view > t.view then
+    Ctx.send_replica t.ctx ~dst:src ~bytes:Message.Wire.vote
+      (S_nv_request { view })
+
+let on_nv_request t ~src ~view =
+  match t.last_nv with
+  | Some (new_view, vcs) when new_view >= view ->
+      let total =
+        List.fold_left
+          (fun acc (_, p) ->
+            acc + List.length p.executed + List.length p.certified
+            + List.length p.shared)
+          0 vcs
+      in
+      Ctx.send_replica t.ctx ~dst:src
+        ~bytes:(Message.Wire.view_change (cfg t) ~entries:total)
+        (S_new_view { new_view; vcs })
+  | Some _ | None -> ()
+
+let rec initiate_view_change t ~from_view =
+  let already =
+    match t.status with In_view_change v -> v >= from_view | Active -> false
+  in
+  if (not already) && from_view >= t.view then begin
+    tr_instant t "view_change";
+    if Metrics.enabled () then Metrics.cincr "sbft.view_changes";
+    (if t.status = Active then begin
+       t.vc_phase_slot <- Exec.k_exec t.exec + 1;
+       tr_phase t ~view:(from_view + 1) ~seqno:t.vc_phase_slot "view_change"
+     end);
+    t.status <- In_view_change from_view;
+    t.nv_deadline <- Ctx.now t.ctx +. nv_deadline_for t;
+    t.vc_round <- t.vc_round + 1;
+    let payload = my_vc_payload t ~from_view in
+    let bytes =
+      Message.Wire.view_change (cfg t)
+        ~entries:
+          (List.length payload.executed + List.length payload.certified
+          + List.length payload.shared)
+    in
+    Ctx.broadcast_replicas t.ctx ~bytes (S_view_change { payload });
+    Hashtbl.replace (vc_bucket t from_view) (Ctx.id t.ctx) payload;
+    maybe_new_view t ~from_view;
+    let this_deadline = t.nv_deadline in
+    ignore
+      (Ctx.schedule t.ctx ~delay:(this_deadline -. Ctx.now t.ctx) (fun () ->
+           match t.status with
+           | In_view_change v when v = from_view && t.nv_deadline = this_deadline
+             ->
+               initiate_view_change t ~from_view:(from_view + 1)
+           | In_view_change _ | Active -> ()))
+  end
+
+and maybe_new_view t ~from_view =
+  let new_view = from_view + 1 in
+  if
+    Config.primary_of_view (cfg t) new_view = Ctx.id t.ctx
+    && t.nv_sent_for < new_view
+  then begin
+    let bucket = vc_bucket t from_view in
+    let valid =
+      Hashtbl.fold
+        (fun src p acc ->
+          if entries_consecutive p.executed then (src, p) :: acc else acc)
+        bucket []
+    in
+    if List.length valid >= nf t then begin
+      t.nv_sent_for <- new_view;
+      let vcs =
+        List.sort (fun (a, _) (b, _) -> compare a b) valid
+        |> List.filteri (fun i _ -> i < nf t)
+      in
+      let total =
+        List.fold_left
+          (fun acc (_, p) ->
+            acc + List.length p.executed + List.length p.certified
+            + List.length p.shared)
+          0 vcs
+      in
+      Ctx.broadcast_replicas t.ctx
+        ~bytes:(Message.Wire.view_change (cfg t) ~entries:total)
+        (S_new_view { new_view; vcs });
+      enter_new_view t ~new_view ~vcs
+    end
+  end
+
+and on_view_change t ~src ~payload =
+  if payload.from_view >= t.view - 1 && entries_consecutive payload.executed
+  then begin
+    let bucket = vc_bucket t payload.from_view in
+    Hashtbl.replace bucket src payload;
+    (* Join rule: f+1 distinct view-change requests for the current view
+       prove some non-faulty replica detected a failure. *)
+    (if t.status = Active && payload.from_view = t.view then
+       if Hashtbl.length bucket >= fq t + 1 then
+         initiate_view_change t ~from_view:t.view);
+    match t.status with
+    | In_view_change v when v = payload.from_view -> maybe_new_view t ~from_view:v
+    | In_view_change _ | Active -> ()
+  end
+
+and enter_new_view t ~new_view ~vcs =
+  (* SBFT execution is proof-gated, so adoption only ever fast-forwards
+     (no rollback): adopt the longest executed prefix, then re-run
+     consensus in the new view for every slot a certificate supports. *)
+  let best =
+    List.fold_left
+      (fun acc ((_, p) : int * vc_payload) ->
+        match acc with
+        | Some (b : vc_payload) when b.exec_upto >= p.exec_upto -> acc
+        | _ -> Some p)
+      None vcs
+  in
+  let kmax = match best with Some p -> p.exec_upto | None -> -1 in
+  (match best with
+  | None -> ()
+  | Some p ->
+      List.iter
+        (fun (e : Message.exec_entry) ->
+          if e.Message.e_seqno = Exec.k_exec t.exec + 1 then
+            Exec.force_adopt t.exec ~seqno:e.Message.e_seqno
+              ~view:e.Message.e_view ~batch:e.Message.e_batch
+              ~proof:(Block.Vote_certificate []))
+        p.executed);
+  (* Re-proposal selection above kmax: highest-view certified entry first,
+     then the shared digest with the most matching claims (ties broken by
+     view then digest, deterministically). *)
+  let reproposals : (int, Message.exec_entry) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun ((_, p) : int * vc_payload) ->
+      List.iter
+        (fun (e : Message.exec_entry) ->
+          if e.Message.e_seqno > kmax then
+            match Hashtbl.find_opt reproposals e.Message.e_seqno with
+            | Some prev when prev.Message.e_view >= e.Message.e_view -> ()
+            | Some _ | None -> Hashtbl.replace reproposals e.Message.e_seqno e)
+        p.certified)
+    vcs;
+  let shared_claims : (int, (string, int * Message.exec_entry) Hashtbl.t)
+      Hashtbl.t =
+    Hashtbl.create 16
+  in
+  List.iter
+    (fun ((_, p) : int * vc_payload) ->
+      List.iter
+        (fun (e : Message.exec_entry) ->
+          if
+            e.Message.e_seqno > kmax
+            && not (Hashtbl.mem reproposals e.Message.e_seqno)
+          then begin
+            let per_digest =
+              match Hashtbl.find_opt shared_claims e.Message.e_seqno with
+              | Some h -> h
+              | None ->
+                  let h = Hashtbl.create 4 in
+                  Hashtbl.replace shared_claims e.Message.e_seqno h;
+                  h
+            in
+            let key = e.Message.e_batch.Message.digest in
+            let count =
+              match Hashtbl.find_opt per_digest key with
+              | Some (c, _) -> c
+              | None -> 0
+            in
+            Hashtbl.replace per_digest key (count + 1, e)
+          end)
+        p.shared)
+    vcs;
+  Hashtbl.iter
+    (fun seqno per_digest ->
+      let best =
+        Hashtbl.fold
+          (fun d (c, e) acc ->
+            match acc with
+            | Some (bd, bc, (be : Message.exec_entry))
+              when bc > c
+                   || (bc = c && be.Message.e_view > e.Message.e_view)
+                   || (bc = c && be.Message.e_view = e.Message.e_view && bd <= d)
+              -> acc
+            | _ -> Some (d, c, e))
+          per_digest None
+      in
+      match best with
+      | Some (_, _, e) -> Hashtbl.replace reproposals seqno e
+      | None -> ())
+    shared_claims;
+  t.view <- new_view;
+  t.status <- Active;
+  t.vc_round <- 0;
+  tr_instant t "new_view";
+  tr_phase t ~view:new_view ~seqno:t.vc_phase_slot "new_view";
+  if Metrics.enabled () then Metrics.cincr "sbft.new_views";
+  t.last_nv <- Some (new_view, vcs);
+  let max_reproposed =
+    Hashtbl.fold (fun s _ acc -> max s acc) reproposals kmax
+  in
+  t.next_seqno <- max_reproposed + 1;
+  Hashtbl.iter
+    (fun key _ -> if slot_key_view key < new_view then Hashtbl.remove t.slots key)
+    (Hashtbl.copy t.slots);
+  Hashtbl.iter
+    (fun key _ -> if slot_key_view key < new_view then Hashtbl.remove t.coll key)
+    (Hashtbl.copy t.coll);
+  (* Committed-but-unexecuted offers of the dead view are parked in the
+     engine behind gaps that will never fill there; the new view re-runs
+     consensus for them, so drop the stale offers. *)
+  Exec.abandon_unexecuted t.exec;
+  if is_primary t then begin
+    Pipeline.reset_window t.pipeline;
+    (* Our first post-failover commits wait out the collector timer (the
+       fast path needs all n shares, and somebody just failed); stale
+       watch deadlines must not re-suspect during that window. *)
+    Recovery.postpone_watches t.recovery;
+    (* Gaps between kmax and the highest re-proposed slot get null batches:
+       a slot no certificate supports can never close otherwise, and
+       execution would park behind it forever. *)
+    let entries =
+      List.init (max_reproposed - kmax) (fun i ->
+          let seqno = kmax + 1 + i in
+          match Hashtbl.find_opt reproposals seqno with
+          | Some e -> e
+          | None ->
+              {
+                Message.e_seqno = seqno;
+                e_view = new_view;
+                e_batch =
+                  {
+                    Message.digest = Printf.sprintf "sbft-null-%d" seqno;
+                    reqs = [||];
+                  };
+              })
+    in
+    List.iter
+      (fun (e : Message.exec_entry) ->
+        Ctx.broadcast_replicas t.ctx
+          ~bytes:(Message.Wire.propose (cfg t))
+          (S_preprepare
+             { view = new_view; seqno = e.Message.e_seqno;
+               batch = e.Message.e_batch });
+        send_share t ~view:new_view ~seqno:e.Message.e_seqno e.Message.e_batch)
+      entries;
+    (* Requests in a re-proposed batch are on their way back through
+       consensus but [Exec.was_executed] stays false until the slot
+       re-commits: mark them proposed so neither the watched backlog nor a
+       client retransmission gets them a second seqno. *)
+    Hashtbl.iter
+      (fun _ (e : Message.exec_entry) ->
+        Array.iter (Pipeline.mark_proposed t.pipeline) e.Message.e_batch.Message.reqs)
+      reproposals;
+    List.iter
+      (fun req ->
+        if not (Exec.was_executed t.exec req) then
+          Pipeline.add_request t.pipeline req)
+      (Recovery.watched_requests t.recovery)
+  end
+  else Recovery.refresh_watches t.recovery;
+  Hashtbl.reset t.retries;
+  (* Executor failover: re-send the execution share of every executed
+     slot still above the stable checkpoint to this view's executor, so
+     it can aggregate f+1 and answer any client the failed executor left
+     hanging. Slots already responded to get a duplicate aggregate — the
+     hubs drop completed acks — and the window is bounded by checkpoint
+     GC. *)
+  let ex = executor_of t new_view in
+  Hashtbl.fold (fun seqno (_, result) acc -> (seqno, result) :: acc)
+    t.exec_results []
+  |> List.sort compare
+  |> List.iter (fun (seqno, result) ->
+         if ex = Ctx.id t.ctx then on_exec_share t ~src:ex ~seqno ~result
+         else
+           Ctx.send_replica t.ctx ~dst:ex ~bytes:Message.Wire.vote
+             (S_exec_share { seqno; result }));
+  activate_pending_slots t
+
+and on_new_view t ~src ~new_view ~vcs =
+  if
+    new_view > t.view
+    && src = Config.primary_of_view (cfg t) new_view
+    && List.length vcs >= nf t
+    && List.for_all (fun (_, p) -> entries_consecutive p.executed) vcs
+    &&
+    let srcs = List.map fst vcs in
+    List.length (List.sort_uniq compare srcs) = List.length srcs
+  then enter_new_view t ~new_view ~vcs
+
+let force_suspect t =
+  if t.status = Active then initiate_view_change t ~from_view:t.view
+
+(* The current executor answers a retried-but-executed request again:
+   the aggregate response is a single message, so one lossy link must
+   not strand the client until a view change. *)
+let re_respond t (req : Message.request) =
+  let slot_key = (req.Message.hub lsl 19) lor req.Message.client in
+  match Hashtbl.find_opt t.reply_cache slot_key with
+  | Some (rid, seqno, result) when rid = req.Message.rid ->
+      (* We answered this exact request before: replay the single ack
+         from the cache. Works even after checkpoint GC dropped the
+         batch. *)
+      let config = cfg t in
+      Ctx.send_hub t.ctx ~hub:req.Message.hub
+        ~bytes:(Message.Wire.response config ~per_reqs:1)
+        (Message.Exec_response
+           {
+             view = t.view;
+             seqno;
+             replica = Ctx.id t.ctx;
+             batch_digest = "";
+             result_digest = result;
+             acks = [ (req.Message.client, req.Message.rid) ];
+           })
+  | _ ->
+      (* Never answered by this replica (e.g. we just inherited the
+         executor role): rebuild the full aggregate from our own
+         execution results if the slot is still retained. *)
+      let key = Message.request_key req in
+      Hashtbl.iter
+        (fun seqno ((batch : Message.batch), result) ->
+          if
+            Array.exists (fun r -> Message.request_key r = key) batch.Message.reqs
+          then begin
+            Hashtbl.remove t.exec_proof_sent seqno;
+            executor_respond t ~seqno ~result
+          end)
+        (Hashtbl.copy t.exec_results)
+
 let on_client_request t (req : Message.request) =
-  if Exec.was_executed t.exec req then ()
-  else if is_primary t then Pipeline.add_request t.pipeline req
+  if Exec.was_executed t.exec req then begin
+    (* Executed, yet the client is still retrying: the aggregate
+       response was lost, or the executor of the view that executed it
+       failed before responding — the one failure the consensus path
+       cannot see, because execution already happened everywhere. The
+       live executor re-responds; persistent retries rotate the view,
+       and with it the executor role. *)
+    if t.status = Active then begin
+      if is_executor t then re_respond t req;
+      (* Client retransmissions back off exponentially, so we may only
+         ever see this one retry: instead of waiting for a second,
+         schedule a local progress check. The client is closed-loop —
+         if no higher rid from it executes by the deadline, it is still
+         unanswered and the view (hence the executor role) must
+         rotate. *)
+      let key = Message.request_key req in
+      if not (Hashtbl.mem t.retries key) then begin
+        Hashtbl.replace t.retries key (Ctx.now t.ctx);
+        let cslot = (req.Message.hub lsl 19) lor req.Message.client in
+        let vw = t.view in
+        ignore
+          (Ctx.schedule t.ctx
+             ~delay:(2.0 *. (cfg t).Config.view_timeout)
+             (fun () ->
+               Hashtbl.remove t.retries key;
+               if Ctx.alive t.ctx && t.status = Active && t.view = vw then
+                 match Hashtbl.find_opt t.exec_rids cslot with
+                 | Some best when best > req.Message.rid -> ()
+                 | Some _ | None -> initiate_view_change t ~from_view:t.view))
+      end
+    end
+  end
+  else if t.status = Active && is_primary t then
+    Pipeline.add_request t.pipeline req
   else Recovery.watch t.recovery req
+
+(* ------------------------------------------------------------------ *)
+(* Wiring                                                              *)
 
 let create_replica ctx =
   let placeholder_exec = Exec.create ~ctx () in
@@ -410,7 +998,18 @@ let create_replica ctx =
       exec_shares = Hashtbl.create 64;
       exec_results = Hashtbl.create 64;
       exec_proof_sent = Hashtbl.create 64;
+      reply_cache = Hashtbl.create 16;
+      exec_rids = Hashtbl.create 16;
+      retries = Hashtbl.create 64;
       next_seqno = 0;
+      view = 0;
+      status = Active;
+      vc_store = Hashtbl.create 4;
+      vc_round = 0;
+      nv_deadline = 0.0;
+      nv_sent_for = 0;
+      last_nv = None;
+      vc_phase_slot = 0;
     }
   in
   t.exec <-
@@ -424,11 +1023,34 @@ let create_replica ctx =
     Pipeline.create ~ctx ~on_batch:(fun batch -> propose_batch t batch) ();
   t.recovery <-
     Recovery.create ~ctx ~exec:t.exec
-      ~primary:(fun () -> 0)
-      ~active:(fun () -> true)
-        (* SBFT's primary-failure view change is PBFT's; the paper's
-           failure experiments never exercise it and neither do ours. *)
-      ~on_suspect:(fun () -> ())
+      ~primary:(fun () -> primary_of t t.view)
+      ~active:(fun () -> t.status = Active)
+      ~on_suspect:(fun () -> initiate_view_change t ~from_view:t.view)
+      ~on_stable:(fun seqno ->
+        Hashtbl.iter
+          (fun key _ ->
+            if slot_key_seqno key <= seqno then Hashtbl.remove t.slots key)
+          (Hashtbl.copy t.slots);
+        Hashtbl.iter
+          (fun key _ ->
+            if slot_key_seqno key <= seqno then Hashtbl.remove t.coll key)
+          (Hashtbl.copy t.coll);
+        (* The response machinery lags one checkpoint period behind the
+           stable point: a period-boundary seqno broadcasts its
+           checkpoint votes and its execution shares at the same
+           instant, and when the nf-th vote outruns the (f+1)-th share
+           the slot would otherwise be collected before the executor
+           can aggregate and answer the clients. *)
+        let keep = seqno - (Ctx.config ctx).Config.checkpoint_period in
+        Hashtbl.iter
+          (fun s _ -> if s <= keep then Hashtbl.remove t.exec_proof_sent s)
+          (Hashtbl.copy t.exec_proof_sent);
+        Hashtbl.iter
+          (fun s _ -> if s <= keep then Hashtbl.remove t.exec_results s)
+          (Hashtbl.copy t.exec_results);
+        Hashtbl.iter
+          (fun s _ -> if s <= keep then Hashtbl.remove t.exec_shares s)
+          (Hashtbl.copy t.exec_shares))
       ();
   t
 
@@ -440,13 +1062,22 @@ let on_message t ~src msg =
     | Message.Client_request req -> on_client_request t req
     | Message.Client_request_bundle reqs -> List.iter (on_client_request t) reqs
     | Message.Client_forward req -> on_client_request t req
-    | S_preprepare { seqno; batch } -> on_preprepare t ~src ~seqno batch
-    | S_share { seqno; digest } -> on_share t ~src ~seqno ~digest
-    | S_commit_proof { seqno; digest; full } -> on_commit_proof t ~seqno ~digest ~full
-    | S_share2 { seqno; digest } -> on_share2 t ~src ~seqno ~digest
-    | S_final_proof { seqno; digest } -> on_final_proof t ~seqno ~digest
+    | S_preprepare { view; seqno; batch } ->
+        request_nv t ~src ~view;
+        on_preprepare t ~src ~view ~seqno batch
+    | S_share { view; seqno; digest } -> on_share t ~src ~view ~seqno ~digest
+    | S_commit_proof { view; seqno; digest; full } ->
+        request_nv t ~src ~view;
+        on_commit_proof t ~src ~view ~seqno ~digest ~full
+    | S_share2 { view; seqno; digest } -> on_share2 t ~src ~view ~seqno ~digest
+    | S_final_proof { view; seqno; digest } ->
+        request_nv t ~src ~view;
+        on_final_proof t ~src ~view ~seqno ~digest
     | S_exec_share { seqno; result } -> on_exec_share t ~src ~seqno ~result
     | S_exec_proof _ -> ()
+    | S_view_change { payload } -> on_view_change t ~src ~payload
+    | S_new_view { new_view; vcs } -> on_new_view t ~src ~new_view ~vcs
+    | S_nv_request { view } -> on_nv_request t ~src ~view
     | _ -> ()
 
 let receive_cost ~src config cost msg =
@@ -460,6 +1091,9 @@ let receive_cost ~src config cost msg =
           base +. cost.Cost.mac_verify
       | S_commit_proof _ | S_final_proof _ | S_exec_proof _ ->
           base +. cost.Cost.mac_verify
+      | S_view_change _ | S_new_view _ | S_nv_request _ ->
+          (* View-change summaries are forwarded, hence signed. *)
+          base +. cost.Cost.ds_verify
       | _ -> base)
 
 let hub_hooks _config =

@@ -13,12 +13,35 @@
     linear phases run (sign-state + final proof) before execution — the
     twin-path switch the paper measures under a single backup failure.
 
-    Collector is replica 1, executor replica 2 (the paper recommends
-    distinct roles, §IV-A). Like the paper's evaluation we focus on the
-    normal case plus the twin-path behaviour; primary failure uses a
-    PBFT-style view change in the original, which their Fig. 10 skips as
-    "no less expensive than PBFT" — ours stalls instead (documented). *)
+    Roles are view-relative: primary is [view mod n], with the collector
+    and executor the next two replicas (the paper recommends distinct
+    roles, §IV-A) — rotating all three with the view restores liveness
+    whichever of them fails.
+
+    View change: the standard certificate-carrying protocol the original
+    describes as "no less expensive than PBFT" (their Fig. 10 skips
+    measuring it). Replica suspicion comes from {!Poe_runtime.Recovery}
+    watch timeouts; view-change summaries carry the executed suffix above
+    the stable checkpoint plus two certificate strengths per in-flight
+    slot — {e certified} (a commit proof was seen; any slow-path commit
+    leaves at least one honest certified witness in every nf-summary set)
+    and {e shared} (this replica signed a share; a fast-path commit needs
+    all n, so f+1 matching shared claims outnumber the ≤ f forgeable
+    conflicts). The new primary adopts the longest executed prefix,
+    re-proposes every slot a certificate supports, and null-fills the
+    gaps. Since SBFT execution is proof-gated there is never anything to
+    roll back. *)
 
 include Poe_runtime.Protocol_intf.S
 
+(** {1 Introspection for tests and fault-injection} *)
+
+val view_of : replica -> int
 val k_exec : replica -> int
+val in_view_change : replica -> bool
+val stable_seqno : replica -> int
+
+val force_suspect : replica -> unit
+(** Make this replica suspect the current primary immediately (as if its
+    request timer expired) — lets tests drive view-changes without waiting
+    for simulated timeouts. *)

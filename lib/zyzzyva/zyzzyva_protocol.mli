@@ -12,11 +12,30 @@
     replicas acknowledge with LOCAL-COMMIT and the client accepts after nf
     of those.
 
-    As in the paper's evaluation (§IV-A, §IV-H), no view-change is
-    provided: Zyzzyva's published view-change is known to be unsafe
-    (Abraham et al. 2017), and the paper accordingly excludes Zyzzyva from
-    its primary-failure experiment. A primary crash stalls the protocol. *)
+    View change: Zyzzyva's {e published} view change is unsafe (Abraham
+    et al. 2017; "Revisiting EZBFT", PAPERS.md, catalogs the same traps
+    for its successor), so we do not reproduce it. On suspicion —
+    unserved watched requests, or client retries that persist for an
+    already-executed request, the local symptom of an equivocating
+    primary — replicas exchange signed local-history certificates. The
+    new primary adopts a prefix per slot: a slot survives when f+1 of
+    the nf histories carry the same batch (at most one batch can, and
+    every fast-path completion does), or when it is covered by the
+    highest acked commit certificate among the histories (slow-path
+    completions). Uncertified speculative suffixes are rolled back
+    through {!Poe_runtime.Exec_engine}, clamped at the stable
+    checkpoint, with certified-but-unexecuted slots abandoned. *)
 
 include Poe_runtime.Protocol_intf.S
 
+(** {1 Introspection for tests and fault-injection} *)
+
+val view_of : replica -> int
 val k_exec : replica -> int
+val in_view_change : replica -> bool
+val stable_seqno : replica -> int
+
+val force_suspect : replica -> unit
+(** Make this replica suspect the current primary immediately (as if its
+    request timer expired) — lets tests drive view-changes without waiting
+    for simulated timeouts. *)

@@ -136,12 +136,15 @@ let test_snapshot_catchup_across_checkpoint_gc () =
 (* The same faults against the baselines (safety only)                 *)
 
 (* ------------------------------------------------------------------ *)
-(* Byzantine flips mid-run: the baselines must stay safe while replica
-   0 (PBFT's primary; HotStuff's every-fourth leader) equivocates or
-   keeps a backup in the dark, and recover liveness once it turns honest
-   again. An equivocated slot can never gather a full quorum on either
-   digest, so the protocols must route around it (view change /
-   pacemaker skip) without ever diverging. *)
+(* Byzantine flips mid-run: all five protocols must stay safe while
+   replica 0 (the view-0 primary; HotStuff's every-fourth leader)
+   equivocates or keeps a backup in the dark, and recover liveness once
+   it turns honest again. An equivocated slot can never gather a full
+   quorum on either digest, so the protocols must route around it (view
+   change / pacemaker skip) without ever diverging. SBFT and Zyzzyva
+   earn their place in this matrix with this PR's replica-driven view
+   changes — a byzantine primary now costs them a failover, not the
+   run. *)
 
 let byzantine_safety (module X : R.Protocol_intf.S) name ?(scheme = Config.Auth_mac)
     behavior label =
@@ -215,6 +218,10 @@ let () =
         ] );
       ( "byzantine",
         [
+          byzantine_safety (module P) "poe" Ctx.Equivocate "equivocating primary";
+          byzantine_safety (module P) "poe"
+            (Ctx.Keep_in_dark [ 1 ])
+            "primary keeps backup dark";
           byzantine_safety
             (module Poe_pbft.Pbft_protocol)
             "pbft" Ctx.Equivocate "equivocating primary";
@@ -232,5 +239,22 @@ let () =
             "hotstuff" ~scheme:Config.Auth_threshold
             (Ctx.Keep_in_dark [ 1 ])
             "leader keeps backup dark";
+          byzantine_safety
+            (module Poe_sbft.Sbft_protocol)
+            "sbft" ~scheme:Config.Auth_threshold Ctx.Equivocate
+            "equivocating primary";
+          byzantine_safety
+            (module Poe_sbft.Sbft_protocol)
+            "sbft" ~scheme:Config.Auth_threshold
+            (Ctx.Keep_in_dark [ 1 ])
+            "primary keeps backup dark";
+          byzantine_safety
+            (module Poe_zyzzyva.Zyzzyva_protocol)
+            "zyzzyva" Ctx.Equivocate "equivocating primary";
+          byzantine_safety
+            (module Poe_zyzzyva.Zyzzyva_protocol)
+            "zyzzyva"
+            (Ctx.Keep_in_dark [ 1 ])
+            "primary keeps backup dark";
         ] );
     ]

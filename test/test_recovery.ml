@@ -30,7 +30,7 @@ type fixture = {
   suspected : bool array;
 }
 
-let make_fixture ?(n = 4) ?(materialize = false) () =
+let make_fixture ?(n = 4) ?(materialize = false) ?on_suspect () =
   let config =
     Config.make ~n ~batch_size:2 ~materialize ~checkpoint_period:4
       ~view_timeout:0.2 ~n_hubs:1 ~clients_per_hub:1 ()
@@ -52,7 +52,9 @@ let make_fixture ?(n = 4) ?(materialize = false) () =
         Recovery.create ~ctx:ctxs.(id) ~exec:execs.(id)
           ~primary:(fun () -> 0)
           ~active:(fun () -> true)
-          ~on_suspect:(fun () -> suspected.(id) <- true)
+          ~on_suspect:(fun () ->
+            suspected.(id) <- true;
+            match on_suspect with Some f -> f id | None -> ())
           ())
   in
   Array.iteri
@@ -167,6 +169,84 @@ let test_snapshot_transfer_materialized () =
   let row id = Poe_store.Kv_store.get (Option.get (Ctx.store fx.ctxs.(id))) "user1" in
   if Exec.k_exec fx.execs.(3) = Exec.k_exec fx.execs.(0) then
     Alcotest.(check (option string)) "rows equal after snapshot" (row 0) (row 3)
+
+(* The suspicion backoff: consecutive suspicions with no execution in
+   between double the watch deadline (2^min(round, 6) x view_timeout), so
+   a run of faulty successor primaries is suspected at geometrically
+   growing intervals instead of every deadline sweep. *)
+let test_suspicion_backoff_gaps_grow () =
+  let fx_ref = ref None in
+  let times = ref [] in
+  let fx =
+    make_fixture
+      ~on_suspect:(fun id ->
+        if id = 1 then
+          match !fx_ref with
+          | Some fx -> times := Engine.now fx.engine :: !times
+          | None -> ())
+      ()
+  in
+  fx_ref := Some fx;
+  Recovery.start fx.recoveries.(1);
+  let req = { Message.hub = 0; client = 0; rid = 9; op = None; submitted = 0.0 } in
+  Recovery.watch fx.recoveries.(1) req;
+  (* Nothing ever executes it: suspicions at ~0.3, +0.4, +0.8, +1.6... *)
+  Engine.run ~until:5.0 fx.engine;
+  let times = List.rev !times in
+  Alcotest.(check bool)
+    (Printf.sprintf "several suspicions (%d)" (List.length times))
+    true
+    (List.length times >= 3);
+  Alcotest.(check int) "round counts consecutive suspicions"
+    (List.length times)
+    (Recovery.suspicion_round fx.recoveries.(1));
+  match times with
+  | t1 :: t2 :: t3 :: _ ->
+      let g1 = t2 -. t1 and g2 = t3 -. t2 in
+      Alcotest.(check bool)
+        (Printf.sprintf "gaps grow geometrically (%.2f then %.2f)" g1 g2)
+        true
+        (g2 > g1 *. 1.5)
+  | _ -> ()
+
+let test_execution_resets_backoff () =
+  let fx = make_fixture () in
+  Recovery.start fx.recoveries.(1);
+  let b = batch_at 0 in
+  Recovery.watch fx.recoveries.(1) b.Message.reqs.(0);
+  Engine.run ~until:2.0 fx.engine;
+  Alcotest.(check bool) "backed off after repeated suspicion" true
+    (Recovery.suspicion_round fx.recoveries.(1) >= 2);
+  Exec.offer fx.execs.(1) ~seqno:0 ~view:0 ~batch:b ~proof:Block.No_proof;
+  Engine.run ~until:(Engine.now fx.engine +. 0.1) fx.engine;
+  Recovery.note_executed fx.recoveries.(1) ~seqno:0 ~batch:b;
+  Alcotest.(check int) "execution resets the round" 0
+    (Recovery.suspicion_round fx.recoveries.(1))
+
+let test_postpone_watches_grace_without_reforward () =
+  let fx = make_fixture () in
+  let forwards = ref 0 in
+  Network.set_handler fx.net 0 (fun ~src:_ ~bytes:_ msg ->
+      match msg with
+      | Message.Client_request _ | Message.Client_request_bundle _ ->
+          incr forwards
+      | _ -> ());
+  Recovery.start fx.recoveries.(1);
+  let req = { Message.hub = 0; client = 0; rid = 9; op = None; submitted = 0.0 } in
+  Recovery.watch fx.recoveries.(1) req;
+  Engine.run ~until:0.05 fx.engine;
+  Alcotest.(check int) "watch forwarded to the primary once" 1 !forwards;
+  (* A new primary postpones inherited watches: deadlines move a full
+     fresh period out (past the original 0.2s deadline) but nothing is
+     re-forwarded, so the backlog is not re-proposed twice. *)
+  Recovery.postpone_watches fx.recoveries.(1);
+  Engine.run ~until:0.24 fx.engine;
+  Alcotest.(check bool) "no suspicion during the grace period" false
+    fx.suspected.(1);
+  Engine.run ~until:1.0 fx.engine;
+  Alcotest.(check bool) "unserved watch still suspects eventually" true
+    fx.suspected.(1);
+  Alcotest.(check int) "postpone does not re-forward" 1 !forwards
 
 (* ------------------------------------------------------------------ *)
 (* Hub_core                                                            *)
@@ -331,6 +411,12 @@ let () =
             test_lagging_replica_incremental_transfer;
           Alcotest.test_case "snapshot transfer (materialized)" `Quick
             test_snapshot_transfer_materialized;
+          Alcotest.test_case "suspicion backoff gaps grow" `Quick
+            test_suspicion_backoff_gaps_grow;
+          Alcotest.test_case "execution resets backoff" `Quick
+            test_execution_resets_backoff;
+          Alcotest.test_case "postpone grants grace without re-forward" `Quick
+            test_postpone_watches_grace_without_reforward;
         ] );
       ( "hub",
         [
