@@ -11,7 +11,11 @@
 #
 #   dune build && bench/check_budgets.sh --update
 #
-# Exits non-zero on any drift (or on a missing baseline).
+# Comparison is delegated to `poe_sim diff metrics`, which parses the
+# budgets table and reports every drifted counter as a dotted path
+# (e.g. net.msgs_sent.per_reply). Pass --json to emit one
+# poe-metric-diff-v1 document per protocol instead of human-readable
+# drift reports. Exits non-zero on any drift (or a missing baseline).
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -21,7 +25,14 @@ tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"' EXIT
 
 update=false
-[ "${1:-}" = "--update" ] && update=true
+json=false
+for arg in "$@"; do
+  case "$arg" in
+    --update) update=true ;;
+    --json) json=true ;;
+    *) echo "usage: $0 [--update] [--json]" >&2; exit 2 ;;
+  esac
+done
 
 fail=0
 for p in poe pbft zyzzyva sbft hotstuff; do
@@ -33,23 +44,22 @@ for p in poe pbft zyzzyva sbft hotstuff; do
   elif [ ! -f "$BASELINES/$p.budgets" ]; then
     echo "missing baseline $BASELINES/$p.budgets (run with --update)" >&2
     fail=1
-  elif ! cmp -s "$BASELINES/$p.budgets" "$tmp/$p.budgets"; then
-    # Report every drifted counter with expected vs actual values (not
-    # just the first), so one run shows the full shape of the drift.
-    echo "budget drift for $p (refresh with --update if intended):" >&2
-    awk 'NR==FNR { expected[$1] = $0; next }
-         { seen[$1] = 1
-           if (!($1 in expected))
-             printf "  %s: new counter: [%s]\n", $1, $0
-           else if (expected[$1] != $0)
-             printf "  %s: expected [%s], actual [%s]\n", $1, expected[$1], $0
-         }
-         END { for (k in expected) if (!(k in seen))
-                 printf "  %s: missing (expected [%s])\n", k, expected[k] }' \
-      "$BASELINES/$p.budgets" "$tmp/$p.budgets" >&2
-    fail=1
   else
-    echo "budgets ok: $p"
+    rc=0
+    if $json; then
+      "$POE_SIM" diff metrics --json \
+        "$BASELINES/$p.budgets" "$tmp/$p.budgets" || rc=$?
+    else
+      out=$("$POE_SIM" diff metrics \
+        "$BASELINES/$p.budgets" "$tmp/$p.budgets") || rc=$?
+      if [ "$rc" -eq 0 ]; then
+        echo "budgets ok: $p"
+      else
+        echo "budget drift for $p (refresh with --update if intended):" >&2
+        echo "$out" | sed 's/^/  /' >&2
+      fi
+    fi
+    [ "$rc" -eq 0 ] || fail=1
   fi
 done
 exit $fail

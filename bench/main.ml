@@ -126,26 +126,9 @@ let jstr s =
   Trace.escape_json b s;
   Buffer.contents b
 
-let series_json (s : E.series) =
-  let buf = Buffer.create 1024 in
-  Printf.bprintf buf "{\"figure\":%s,\"title\":%s,\"x_label\":%s,\"points\":["
-    (jstr s.E.figure) (jstr s.E.title) (jstr s.E.x_label);
-  List.iteri
-    (fun i (p : E.point) ->
-      if i > 0 then Buffer.add_char buf ',';
-      Printf.bprintf buf
-        "{\"protocol\":%s,\"x\":%.6f,\"throughput\":%.6f,\"latency\":%.6f,\
-         \"decisions\":%.6f,\"messages_per_decision\":%.6f,\
-         \"bytes_per_decision\":%.6f}"
-        (jstr p.E.protocol) p.E.x p.E.throughput p.E.latency p.E.decisions
-        p.E.messages_per_decision p.E.bytes_per_decision)
-    s.E.points;
-  Buffer.add_string buf "]}\n";
-  Buffer.contents buf
-
 let emit (s : E.series) =
   let path = Filename.concat json_dir ("BENCH_" ^ s.E.figure ^ ".json") in
-  An.Report.write_string path (series_json s);
+  An.Report.write_string path (E.series_json s);
   Format.fprintf fmt "[%s]@.@." path
 
 let show series =
@@ -193,7 +176,8 @@ let figure name f =
 let emit_wallclock () =
   let path = Filename.concat json_dir "BENCH_wallclock.json" in
   An.Report.write_string path
-    (Prof.wallclock_json ~jobs ~quick ~scale (List.rev !bench_figures));
+    (Prof.wallclock_json ~jobs ~quick ~scale ~clients:clients_per_hub
+       (List.rev !bench_figures));
   Format.fprintf fmt "[%s]@.@." path
 
 let fig1 () =
@@ -327,6 +311,59 @@ let phase_breakdowns () =
   An.Report.write_string path (An.Report.breakdowns_json breakdowns);
   Format.fprintf fmt "[%s]@.@." path
 
+(* ------------------------------------------------------------------ *)
+(* Bench trend: when BENCH_TREND_DIR is set, the run's artifacts are
+   appended to the trend directory as a new snapshot (named
+   BENCH_TREND_NAME, or the next free NNNN- number) and the trajectory
+   vs. previous/best snapshots is reported. The regression *gate* is
+   `poe_sim diff bench DIR`; the bench itself only records and reports,
+   so a slow CI machine never turns a measurement run into a failure. *)
+
+let append_trend_snapshot () =
+  match Sys.getenv_opt "BENCH_TREND_DIR" with
+  | None -> ()
+  | Some trend_dir ->
+      if not (Sys.file_exists trend_dir) then Sys.mkdir trend_dir 0o755;
+      let name =
+        match Sys.getenv_opt "BENCH_TREND_NAME" with
+        | Some n -> n
+        | None ->
+            let taken =
+              Sys.readdir trend_dir |> Array.to_list
+              |> List.filter_map (fun d ->
+                     if String.length d >= 4 then
+                       int_of_string_opt (String.sub d 0 4)
+                     else None)
+            in
+            Printf.sprintf "%04d" (1 + List.fold_left max 0 taken)
+      in
+      let sub = Filename.concat trend_dir name in
+      if not (Sys.file_exists sub) then Sys.mkdir sub 0o755;
+      Sys.readdir json_dir |> Array.to_list |> List.sort compare
+      |> List.iter (fun f ->
+             if
+               String.length f > 6
+               && String.sub f 0 6 = "BENCH_"
+               && Filename.check_suffix f ".json"
+               && f <> "BENCH_trend.json"
+             then begin
+               let ic = open_in_bin (Filename.concat json_dir f) in
+               let contents = really_input_string ic (in_channel_length ic) in
+               close_in ic;
+               An.Report.write_string (Filename.concat sub f) contents
+             end);
+      Format.fprintf fmt "[trend snapshot %s]@.@." sub;
+      (match Poe_diff.Bench_trend.load_dir trend_dir with
+      | Error e -> Format.fprintf fmt "trend: %s@." e
+      | Ok snaps -> (
+          match Poe_diff.Bench_trend.analyze ~dir:trend_dir snaps with
+          | Error e -> Format.fprintf fmt "trend: %s@." e
+          | Ok report ->
+              An.Report.write_string
+                (Filename.concat json_dir "BENCH_trend.json")
+                (Poe_diff.Bench_trend.render_json report);
+              print_string (Poe_diff.Bench_trend.render_table report)))
+
 let () =
   Printf.printf
     "PoE reproduction bench (scale=%.2f%s, jobs=%d) — one section per paper \
@@ -358,4 +395,5 @@ let () =
   fig9 ();
   Prof.disable_regions ();
   emit_wallclock ();
+  append_trend_snapshot ();
   Printf.printf "done.\n%!"

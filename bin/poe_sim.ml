@@ -498,6 +498,25 @@ let chaos_cmd =
                 (Printf.sprintf "%s seed %d\n%s\n" label round_seed text);
               print_string text
           | None -> ());
+          (match outcome.Ch.attribution with
+          | Some a ->
+              Format.printf "fault attribution (clean same-seed re-run: %s):@."
+                a.Ch.a_clean_verdict;
+              print_string
+                (Poe_diff.Trace_diff.render ~label_a:"faulty" ~label_b:"clean"
+                   a.Ch.a_diff);
+              (match a.Ch.a_faults with
+              | [] ->
+                  Format.printf
+                    "no schedule action had fired by the divergence point@."
+              | faults ->
+                  Format.printf "intersecting fault action(s):@.";
+                  List.iter
+                    (fun (ft : An.Forensics.fault) ->
+                      Format.printf "  t=%.3fs node %d %s@." ft.An.Forensics.f_at
+                        ft.An.Forensics.f_node ft.An.Forensics.f_action)
+                    faults)
+          | None -> ());
           if minimize then begin
             let params = Ch.default_params ~seed:round_seed ~n in
             let minimal, oracle_runs =
@@ -673,7 +692,12 @@ let analyze_cmd =
     Arg.(
       required
       & pos 0 (some file) None
-      & info [] ~docv:"TRACE" ~doc:"JSONL trace exported with $(b,--trace).")
+      & info [] ~docv:"TRACE"
+          ~doc:
+            "JSONL trace exported with $(b,--trace), or a flight-recorder \
+             bundle directory (a $(b,seed-<seed>/) directory with a \
+             $(b,manifest.json)) — the trace is then resolved from the \
+             manifest.")
   in
   let json_out =
     Arg.(
@@ -697,9 +721,49 @@ let analyze_cmd =
       & info [ "node" ] ~docv:"REPLICA"
           ~doc:"Replica whose view of $(b,--slot) to walk (default 0).")
   in
+  (* A flight bundle names its members in manifest.json; resolving the
+     trace through the manifest (rather than hardcoding trace.jsonl)
+     means a bundle without a captured trace fails with "no trace in
+     bundle" instead of a confusing file-not-found. *)
+  let resolve_bundle path =
+    if not (Sys.is_directory path) then Ok path
+    else
+      let manifest = Filename.concat path "manifest.json" in
+      if not (Sys.file_exists manifest) then
+        Error
+          (Printf.sprintf
+             "%s: directory is not a flight bundle (no manifest.json)" path)
+      else
+        let contents =
+          let ic = open_in_bin manifest in
+          Fun.protect
+            ~finally:(fun () -> close_in_noerr ic)
+            (fun () -> really_input_string ic (in_channel_length ic))
+        in
+        match An.Json.parse contents with
+        | Error e -> Error (Printf.sprintf "%s: %s" manifest e)
+        | Ok doc -> (
+            let files =
+              match An.Json.member "files" doc with
+              | Some (An.Json.Arr fs) -> List.filter_map An.Json.to_string fs
+              | _ -> []
+            in
+            match List.find_opt (String.equal "trace.jsonl") files with
+            | Some f -> Ok (Filename.concat path f)
+            | None ->
+                Error
+                  (Printf.sprintf
+                     "%s: bundle manifest lists no trace.jsonl (files: %s)"
+                     path (String.concat ", " files)))
+  in
   let run trace json slot node =
-    match An.Trace_reader.load_file trace with
-    | Error msg -> `Error (false, Printf.sprintf "%s: %s" trace msg)
+    match
+      Result.bind (resolve_bundle trace) (fun path ->
+          Result.map_error
+            (Printf.sprintf "%s: %s" path)
+            (An.Trace_reader.load_file path))
+    with
+    | Error msg -> `Error (false, msg)
     | Ok events ->
         let life = An.Slot_life.reconstruct events in
         let breakdowns = An.Attribution.of_result life in
@@ -924,6 +988,190 @@ let profile_cmd =
       const run $ protocol $ prof_replicas $ batch_size $ prof_clients
       $ prof_duration $ seed $ top $ out)
 
+(* ------------------------------------------------------------------ *)
+(* poe_sim diff — run-vs-run differential observability                *)
+
+let diff_cmd =
+  let diff_exits =
+    [
+      Cmd.Exit.info 0 ~doc:"the inputs are identical (within tolerance).";
+      Cmd.Exit.info 4
+        ~doc:
+          "the inputs diverged (or a ring-evicted prefix made them \
+           incomparable).";
+      Cmd.Exit.info 1 ~doc:"error: unreadable or structurally un-diffable \
+                            inputs.";
+    ]
+  in
+  let json_flag =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Emit the machine-readable report instead of text.")
+  in
+  let traces_cmd =
+    let a_arg =
+      Arg.(
+        required
+        & pos 0 (some file) None
+        & info [] ~docv:"A" ~doc:"First JSONL trace.")
+    in
+    let b_arg =
+      Arg.(
+        required
+        & pos 1 (some file) None
+        & info [] ~docv:"B" ~doc:"Second JSONL trace.")
+    in
+    let window_arg =
+      Arg.(
+        value & opt int 3
+        & info [ "window" ] ~docv:"N"
+            ~doc:"Context events shown on each side of the divergence.")
+    in
+    let run a b window json =
+      match Poe_diff.Trace_diff.diff_files ~window a b with
+      | Error e ->
+          Format.eprintf "poe_sim diff traces: %s@." e;
+          exit 1
+      | Ok outcome ->
+          print_string
+            (if json then Poe_diff.Trace_diff.to_json outcome
+             else Poe_diff.Trace_diff.render ~label_a:a ~label_b:b outcome);
+          exit (Poe_diff.Trace_diff.exit_code outcome)
+    in
+    Cmd.v
+      (Cmd.info "traces" ~exits:diff_exits
+         ~doc:
+           "Structurally diff two exported JSONL traces: events align in \
+            emission order while the slot lifecycle is tracked, so the \
+            first divergence is reported in consensus coordinates (event \
+            index, node, seqno, phase, field) with a windowed context \
+            dump. Ring-evicted prefixes on one side report \
+            incomparable-prefix, never a spurious divergence.")
+      Term.(const run $ a_arg $ b_arg $ window_arg $ json_flag)
+  in
+  let metrics_cmd =
+    let a_arg =
+      Arg.(
+        required
+        & pos 0 (some file) None
+        & info [] ~docv:"A"
+            ~doc:
+              "First artifact: profile/wallclock JSON, heartbeat JSONL, or \
+               a $(b,.budgets) table.")
+    in
+    let b_arg =
+      Arg.(
+        required
+        & pos 1 (some file) None
+        & info [] ~docv:"B" ~doc:"Second artifact (same format as $(b,A)).")
+    in
+    let tolerance_arg =
+      Arg.(
+        value
+        & opt_all (pair ~sep:'=' string float) []
+        & info [ "tolerance" ] ~docv:"FIELD=REL"
+            ~doc:
+              "Allow field $(b,FIELD) (matched against the final path \
+               segment) to differ by the given relative fraction, e.g. \
+               $(b,--tolerance wall_s=0.2). Repeatable.")
+    in
+    let ignore_arg =
+      Arg.(
+        value & opt_all string []
+        & info [ "ignore" ] ~docv:"FIELD"
+            ~doc:"Exclude field $(b,FIELD) from comparison. Repeatable.")
+    in
+    let run a b tolerances ignores json =
+      let policies =
+        List.map (fun (f, t) -> (f, Poe_diff.Metric_diff.Relative t)) tolerances
+        @ List.map (fun f -> (f, Poe_diff.Metric_diff.Ignore)) ignores
+      in
+      match Poe_diff.Metric_diff.diff_files ~policies a b with
+      | Error e ->
+          Format.eprintf "poe_sim diff metrics: %s@." e;
+          exit 1
+      | Ok outcome ->
+          print_string
+            (if json then Poe_diff.Metric_diff.to_json outcome
+             else Poe_diff.Metric_diff.render ~label_a:a ~label_b:b outcome);
+          exit (Poe_diff.Metric_diff.exit_code outcome)
+    in
+    Cmd.v
+      (Cmd.info "metrics" ~exits:diff_exits
+         ~doc:
+           "Diff two metric-shaped artifacts (profile or wallclock JSON, \
+            heartbeat JSONL streams, $(b,.budgets) tables) under per-field \
+            tolerance policies: $(b,{\"unstable\":true})-tagged fields are \
+            stripped, allocation fields compare within a relative \
+            threshold, everything else must match exactly. Reports every \
+            drifted leaf as a dotted path.")
+      Term.(
+        const run $ a_arg $ b_arg $ tolerance_arg $ ignore_arg $ json_flag)
+  in
+  let bench_cmd =
+    let dir_arg =
+      Arg.(
+        required
+        & pos 0 (some dir) None
+        & info [] ~docv:"DIR"
+            ~doc:
+              "Trend directory: one subdirectory per bench run, each \
+               holding that run's $(b,BENCH_*.json) artifacts (append \
+               snapshots with $(b,BENCH_TREND_DIR)).")
+    in
+    let wall_threshold_arg =
+      Arg.(
+        value & opt float 0.10
+        & info [ "wall-threshold" ] ~docv:"REL"
+            ~doc:
+              "Relative wall-clock slowdown tolerated vs. the previous \
+               same-jobs snapshot before flagging a regression.")
+    in
+    let out_arg =
+      Arg.(
+        value
+        & opt (some string) None
+        & info [ "out" ] ~docv:"FILE"
+            ~doc:"Also write the $(b,BENCH_trend.json) document to $(docv).")
+    in
+    let run dir wall_threshold out json =
+      match
+        Result.bind (Poe_diff.Bench_trend.load_dir dir)
+          (Poe_diff.Bench_trend.analyze ~wall_threshold ~dir)
+      with
+      | Error e ->
+          Format.eprintf "poe_sim diff bench: %s@." e;
+          exit 1
+      | Ok report ->
+          (match out with
+          | Some path ->
+              An.Report.write_string path
+                (Poe_diff.Bench_trend.render_json report)
+          | None -> ());
+          print_string
+            (if json then Poe_diff.Bench_trend.render_json report
+             else Poe_diff.Bench_trend.render_table report);
+          exit (Poe_diff.Bench_trend.exit_code report)
+    in
+    Cmd.v
+      (Cmd.info "bench" ~exits:diff_exits
+         ~doc:
+           "Analyze a directory of historical bench snapshots: per-figure \
+            wall-clock deltas vs. the previous and best snapshots, with \
+            noise-aware regression gating — wall-clock within \
+            $(b,--wall-threshold), allocation within 25% between same-jobs \
+            runs, and exact-match required for figure payloads and \
+            deterministic counters between same-configuration runs.")
+      Term.(const run $ dir_arg $ wall_threshold_arg $ out_arg $ json_flag)
+  in
+  Cmd.group
+    (Cmd.info "diff" ~exits:diff_exits
+       ~doc:
+         "Differential observability: compare two runs' traces or metric \
+          artifacts, or gate a bench trend directory. Exit status: 0 \
+          identical, 4 diverged, 1 error.")
+    [ traces_cmd; metrics_cmd; bench_cmd ]
+
 let list_cmd =
   let run () =
     Format.printf "experiments:@.";
@@ -941,7 +1189,7 @@ let () =
       (Cmd.group (Cmd.info "poe_sim" ~doc)
          [
            run_cmd; chaos_cmd; analyze_cmd; experiment_cmd; profile_cmd;
-           list_cmd;
+           diff_cmd; list_cmd;
          ])
   with
   (* Usage errors (unknown subcommand, bad flag) exit 2, the

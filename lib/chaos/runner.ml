@@ -15,12 +15,27 @@ module Flight = Poe_live.Flight
 module Make (P : R.Protocol_intf.S) = struct
   module C = Cluster.Make (P)
 
+  type attribution = {
+    a_diff : Poe_diff.Trace_diff.outcome;
+        (* first divergence between the faulty run and a fault-free
+           re-run of the same seed (chaos marker events excluded) *)
+    a_faults : Poe_analysis.Forensics.fault list;
+        (* schedule actions that had fired by the divergence point *)
+    a_clean_verdict : string;
+        (* verdict of the fault-free re-run — "clean" confirms the
+           schedule caused the violation; anything else means the bug
+           reproduces without faults *)
+  }
+
   type outcome = {
     schedule : Schedule.t;
     violation : Auditor.violation option;
     forensics : Poe_analysis.Forensics.t option;
         (* violation explained from the trace; present only when a sink
            was installed for the run *)
+    attribution : attribution option;
+        (* fault-attribution diff; present only on violation with a
+           sink installed (the clean baseline needs the trace) *)
     stall : Poe_live.Watchdog.stall option;
         (* commit progress stopped with requests outstanding (or the
            step budget ran out); latched by the watchdog, never set
@@ -185,9 +200,9 @@ module Make (P : R.Protocol_intf.S) = struct
     in
     ignore (Engine.schedule engine ~delay:(at -. Engine.now engine) fire)
 
-  let run ?(sample_interval = 0.05) ?(horizon = 2.0) ?(drain = 1.2)
-      ?stall_window ?heartbeat_interval ?on_heartbeat ?flight_dir ?step_budget
-      ~params ~schedule () =
+  let rec run_gen ~attribute ?(sample_interval = 0.05) ?(horizon = 2.0)
+      ?(drain = 1.2) ?stall_window ?heartbeat_interval ?on_heartbeat
+      ?flight_dir ?step_budget ~params ~schedule () =
     (match Schedule.validate ~n:params.Cluster.config.Config.n schedule with
     | Ok () -> ()
     | Error e -> invalid_arg ("Runner.run: bad schedule: " ^ e));
@@ -268,6 +283,57 @@ module Make (P : R.Protocol_intf.S) = struct
                ~seqnos:v.Auditor.seqnos ())
       | _ -> None
     in
+    (* Fault attribution: re-run the same parameters (same seed, fresh
+       cluster) with the fault schedule stripped, and localize the first
+       divergence between the faulty and clean histories. Chaos marker
+       instants exist only on the faulty side by construction, so they
+       are excluded before diffing. The re-run uses its own trace sink
+       and never recurses ([attribute:false]). *)
+    let attribution =
+      match (violation, trace_mark) with
+      | Some v, Some (sink, mark) when attribute && schedule <> [] ->
+          let non_chaos =
+            List.filter (fun e -> not (String.equal e.Trace.cat "chaos"))
+          in
+          let faulty_events = non_chaos (Trace.events_from sink mark) in
+          let saved = Trace.sink () in
+          let fresh = Trace.create () in
+          Trace.set fresh;
+          (* The faulty run stopped at the violation; the baseline only
+             needs the clean history up to that same simulated instant —
+             running it longer would just wrap its ring and make the
+             prefix incomparable. *)
+          let t_end = Engine.now c.C.engine in
+          let clean =
+            Fun.protect
+              ~finally:(fun () ->
+                match saved with
+                | Some t -> Trace.set t
+                | None -> Trace.clear ())
+              (fun () ->
+                run_gen ~attribute:false ~sample_interval ~horizon:t_end
+                  ~drain:0.0 ?step_budget ~params ~schedule:[] ())
+          in
+          let clean_events = non_chaos (Trace.events fresh) in
+          let a_diff =
+            Poe_diff.Trace_diff.diff_events ~a:faulty_events ~b:clean_events ()
+          in
+          let cutoff =
+            match a_diff with
+            | Poe_diff.Trace_diff.Diverged d -> d.Poe_diff.Trace_diff.d_ts
+            | _ -> v.Auditor.at
+          in
+          let a_faults =
+            match forensics with
+            | Some f ->
+                List.filter
+                  (fun ft -> ft.Poe_analysis.Forensics.f_at <= cutoff)
+                  f.Poe_analysis.Forensics.faults
+            | None -> []
+          in
+          Some { a_diff; a_faults; a_clean_verdict = verdict clean }
+      | _ -> None
+    in
     let flight =
       match flight_dir with
       | Some dir when violation <> None || stall <> None ->
@@ -301,6 +367,7 @@ module Make (P : R.Protocol_intf.S) = struct
       schedule;
       violation;
       forensics;
+      attribution;
       stall;
       heartbeats =
         (match hb with Some hb -> Heartbeat.to_jsonl hb | None -> "");
@@ -309,6 +376,12 @@ module Make (P : R.Protocol_intf.S) = struct
       samples = Auditor.samples auditor;
       final_time = Engine.now c.C.engine;
     }
+
+  let run ?sample_interval ?horizon ?drain ?stall_window ?heartbeat_interval
+      ?on_heartbeat ?flight_dir ?step_budget ~params ~schedule () =
+    run_gen ~attribute:true ?sample_interval ?horizon ?drain ?stall_window
+      ?heartbeat_interval ?on_heartbeat ?flight_dir ?step_budget ~params
+      ~schedule ()
 
   let run_seed ?profile ?(n = 4) ?horizon ?drain ?stall_window
       ?heartbeat_interval ?on_heartbeat ?flight_dir ?step_budget
@@ -390,9 +463,11 @@ module Make (P : R.Protocol_intf.S) = struct
       if !runs >= max_runs then false
       else begin
         incr runs;
+        (* The shrinker's oracle only asks "does it still fail?" — no
+           attribution re-runs, or every probe would cost double. *)
         check
-          (run ?horizon ?drain ?stall_window ?step_budget ~params
-             ~schedule:sched ())
+          (run_gen ~attribute:false ?horizon ?drain ?stall_window ?step_budget
+             ~params ~schedule:sched ())
       end
     in
     let current =

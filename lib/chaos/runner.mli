@@ -8,6 +8,21 @@
     seed alone ([run_seed]) or from its printed schedule ([run]). *)
 
 module Make (P : Poe_runtime.Protocol_intf.S) : sig
+  type attribution = {
+    a_diff : Poe_diff.Trace_diff.outcome;
+        (** first divergence between the faulty run's trace and a
+            fault-free re-run of the same parameters (same seed, fresh
+            cluster, schedule stripped), with chaos marker events
+            excluded from both sides *)
+    a_faults : Poe_analysis.Forensics.fault list;
+        (** the schedule actions that had fired by the divergence point
+            — the faults the divergence is attributable to *)
+    a_clean_verdict : string;
+        (** verdict of the fault-free re-run: ["clean"] confirms the
+            schedule caused the violation; ["violation"]/["stall"]
+            means the bug reproduces without any injected fault *)
+  }
+
   type outcome = {
     schedule : Schedule.t;
     violation : Auditor.violation option;
@@ -16,6 +31,11 @@ module Make (P : Poe_runtime.Protocol_intf.S) : sig
             implicated slots, divergence point, causal timeline, fault
             intersection; present only when a trace sink was installed
             around the run *)
+    attribution : attribution option;
+        (** fault-attribution diff against a clean same-seed baseline;
+            present only on violation with a trace sink installed.
+            Schedule shrinking ({!minimize}) and the internal clean
+            re-run itself never attribute. *)
     stall : Poe_live.Watchdog.stall option;
         (** liveness verdict: the cluster stopped making commit progress
             with requests outstanding for a full stall window (or the

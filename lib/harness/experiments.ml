@@ -221,6 +221,28 @@ let print_series fmt s =
     s.points;
   Format.fprintf fmt "@."
 
+let series_json s =
+  let jstr v =
+    let b = Buffer.create (String.length v + 2) in
+    Poe_obs.Trace.escape_json b v;
+    Buffer.contents b
+  in
+  let buf = Buffer.create 1024 in
+  Printf.bprintf buf "{\"figure\":%s,\"title\":%s,\"x_label\":%s,\"points\":["
+    (jstr s.figure) (jstr s.title) (jstr s.x_label);
+  List.iteri
+    (fun i p ->
+      if i > 0 then Buffer.add_char buf ',';
+      Printf.bprintf buf
+        "{\"protocol\":%s,\"x\":%.6f,\"throughput\":%.6f,\"latency\":%.6f,\
+         \"decisions\":%.6f,\"messages_per_decision\":%.6f,\
+         \"bytes_per_decision\":%.6f}"
+        (jstr p.protocol) p.x p.throughput p.latency p.decisions
+        p.messages_per_decision p.bytes_per_decision)
+    s.points;
+  Buffer.add_string buf "]}\n";
+  Buffer.contents buf
+
 (* ------------------------------------------------------------------ *)
 (* Fig. 1: message census                                              *)
 

@@ -32,6 +32,11 @@ type series = {
 val print_series : Format.formatter -> series -> unit
 (** Aligned table, protocols × swept parameter. *)
 
+val series_json : series -> string
+(** The [BENCH_<fig>.json] document for a series — one canonical
+    encoder shared by [bench/] and the determinism tests, so a jobs-1
+    and a jobs-4 run can be compared artifact-to-artifact. *)
+
 val instrumented :
   ?node_name:(int -> string) ->
   ?trace:Poe_obs.Trace.format * string ->

@@ -446,12 +446,12 @@ type bench_figure = {
   fig_counters : (string * int) list;
 }
 
-let wallclock_json ~jobs ~quick ~scale figs =
+let wallclock_json ~jobs ~quick ~scale ~clients figs =
   let b = Buffer.create 8192 in
   Buffer.add_string b
     (Printf.sprintf
-       "{\"schema\":\"poe-bench-wallclock-v1\",\"jobs\":%d,\"quick\":%b,\"scale\":%s,\"figures\":["
-       jobs quick (fsec scale));
+       "{\"schema\":\"poe-bench-wallclock-v1\",\"jobs\":%d,\"quick\":%b,\"scale\":%s,\"clients\":%d,\"figures\":["
+       jobs quick (fsec scale) clients);
   List.iteri
     (fun i f ->
       if i > 0 then Buffer.add_char b ',';

@@ -187,8 +187,11 @@ type bench_figure = {
       (** counter deltas over the figure, in [counter_defs] order *)
 }
 
-val wallclock_json : jobs:int -> quick:bool -> scale:float -> bench_figure list -> string
+val wallclock_json :
+  jobs:int -> quick:bool -> scale:float -> clients:int -> bench_figure list -> string
 (** The [BENCH_wallclock.json] document: per-figure wall-clock (tagged
     unstable), allocation, GC stats (tagged unstable), counter deltas
     and per-request budgets — the committed perf trajectory that the
-    hot-path optimization pass is judged against. *)
+    hot-path optimization pass is judged against. [jobs], [quick],
+    [scale] and [clients] identify the bench configuration so the trend
+    tracker only applies exact-match gates between comparable runs. *)

@@ -308,6 +308,49 @@ let test_forensics_on_violation () =
           Alcotest.(check string) "byte-identical forensic report" text
             (An.Report.forensics_to_string f'))
 
+(* With a sink installed, a violation also triggers a fault-attribution
+   diff: the runner re-runs the same seed with the schedule stripped and
+   localizes the first divergence between the faulty and clean
+   histories, joined with the fault actions that had fired by then. *)
+
+let test_attribution_on_violation () =
+  let module Ch = Runner.Make (Broken) in
+  let params = Ch.default_params ~seed:1 ~n:4 in
+  let tr = Poe_obs.Trace.create () in
+  Poe_obs.Trace.set tr;
+  let o =
+    Fun.protect ~finally:Poe_obs.Trace.clear (fun () ->
+        Ch.run ~horizon:1.2 ~drain:0.6 ~params ~schedule:broken_schedule ())
+  in
+  (match o.Ch.violation with
+  | None -> Alcotest.fail "equivocating primary not caught"
+  | Some _ -> ());
+  match o.Ch.attribution with
+  | None -> Alcotest.fail "violation with a sink installed but no attribution"
+  | Some a ->
+      (* Broken only misbehaves under the injected byzantine flip, so the
+         fault-free baseline must come back clean... *)
+      Alcotest.(check string) "clean re-run verdict" "clean" a.Ch.a_clean_verdict;
+      (* ...and the histories must demonstrably split. *)
+      (match a.Ch.a_diff with
+      | Poe_diff.Trace_diff.Diverged d ->
+          Alcotest.(check bool)
+            (Printf.sprintf "divergence not before the first fault (t=%.3f)"
+               d.Poe_diff.Trace_diff.d_ts)
+            true
+            (d.Poe_diff.Trace_diff.d_ts >= 0.25)
+      | od ->
+          Alcotest.failf "expected diverged, got: %s"
+            (Poe_diff.Trace_diff.render od));
+      Alcotest.(check bool) "at least one intersecting fault action" true
+        (a.Ch.a_faults <> []);
+      (* Every attributed fault fired by the divergence; the decoy crash
+         at t=0.75 (after the violation) must not be blamed. *)
+      Alcotest.(check bool) "no post-divergence fault blamed" true
+        (List.for_all
+           (fun (fa : An.Forensics.fault) -> fa.An.Forensics.f_at < 0.75)
+           a.Ch.a_faults)
+
 (* ------------------------------------------------------------------ *)
 (* Liveness: the stall watchdog as a first-class verdict               *)
 
@@ -507,6 +550,8 @@ let () =
             test_broken_protocol_caught_and_minimized;
           Alcotest.test_case "forensic report on violation" `Quick
             test_forensics_on_violation;
+          Alcotest.test_case "fault attribution on violation" `Quick
+            test_attribution_on_violation;
         ] );
       ( "liveness",
         [

@@ -136,48 +136,72 @@ let test_dls_isolation () =
         (List.length (Trace.events caller_sink)))
 
 (* ------------------------------------------------------------------ *)
-(* Determinism: parallel fan-out returns byte-identical series          *)
+(* Determinism: parallel fan-out returns byte-identical series. The
+   comparison goes through the diff engine on the real exported
+   artifacts, so a future divergence reports *which leaf* moved, not
+   just that two strings differ. *)
 
-let point_repr (p : E.point) =
-  Printf.sprintf "%s x=%h tp=%h lat=%h dec=%h mpd=%h bpd=%h" p.E.protocol
-    p.E.x p.E.throughput p.E.latency p.E.decisions p.E.messages_per_decision
-    p.E.bytes_per_decision
+module Md = Poe_diff.Metric_diff
 
-let series_repr (s : E.series) =
-  String.concat "\n" (s.E.figure :: List.map point_repr s.E.points)
+let check_identical name a b =
+  match Md.diff_strings a b with
+  | Ok (Md.Identical _) -> ()
+  | Ok (Md.Diverged _ as d) ->
+      Alcotest.failf "%s diverged between jobs=1 and jobs=4:\n%s" name
+        (Md.render ~label_a:"jobs=1" ~label_b:"jobs=4" d)
+  | Error e -> Alcotest.failf "%s: diff error: %s" name e
 
 let test_fig9_deterministic_across_jobs () =
   let run jobs =
-    E.fig9_scalability ~scale:0.1 ~clients_per_hub:200 ~ns:[ 4; 7 ] ~jobs
-      E.Standard_nofail
+    E.series_json
+      (E.fig9_scalability ~scale:0.1 ~clients_per_hub:200 ~ns:[ 4; 7 ] ~jobs
+         E.Standard_nofail)
   in
-  Alcotest.(check string)
-    "fig9 series byte-identical, jobs=1 vs jobs=4" (series_repr (run 1))
-    (series_repr (run 4))
+  check_identical "fig9 artifact" (run 1) (run 4)
 
 let test_fig11_deterministic_across_jobs () =
   let run jobs =
-    E.fig11_simulation ~ns:[ 4; 16 ] ~delays_ms:[ 10.; 20. ] ~jobs ()
+    E.series_json (E.fig11_simulation ~ns:[ 4; 16 ] ~delays_ms:[ 10.; 20. ] ~jobs ())
   in
-  Alcotest.(check string)
-    "fig11 series byte-identical, jobs=1 vs jobs=4" (series_repr (run 1))
-    (series_repr (run 4))
+  check_identical "fig11 artifact" (run 1) (run 4)
 
 let test_chaos_sweep_deterministic_across_jobs () =
   let module Ch = Poe_chaos.Runner.Make (Poe_pbft.Pbft_protocol) in
   let seeds = [ 11; 12; 13; 14 ] in
-  let verdicts jobs =
-    List.map
-      (fun (seed, (o : Ch.outcome)) ->
-        Printf.sprintf "seed=%d sched=%s violation=%b completed=%d samples=%d"
-          seed
-          (Poe_chaos.Schedule.to_string o.Ch.schedule)
-          (o.Ch.violation <> None) o.Ch.completed o.Ch.samples)
-      (Ch.run_sweep ~n:4 ~horizon:0.6 ~drain:0.6 ~jobs ~seeds ())
+  let jstr s =
+    let b = Buffer.create (String.length s + 2) in
+    Trace.escape_json b s;
+    Buffer.contents b
   in
-  Alcotest.(check (list string))
-    "chaos sweep verdicts identical, jobs=1 vs jobs=4" (verdicts 1)
-    (verdicts 4)
+  (* One JSON summary line per seed plus each run's heartbeat stream —
+     the heartbeats' unstable-tagged wall fields are stripped by the
+     diff, everything else must match to the byte. *)
+  let sweep jobs =
+    let outcomes =
+      Ch.run_sweep ~n:4 ~horizon:0.6 ~drain:0.6 ~heartbeat_interval:0.2 ~jobs
+        ~seeds ()
+    in
+    let summary =
+      String.concat ""
+        (List.map
+           (fun (seed, (o : Ch.outcome)) ->
+             Printf.sprintf
+               "{\"seed\":%d,\"schedule\":%s,\"verdict\":%s,\"completed\":%d,\
+                \"samples\":%d}\n"
+               seed
+               (jstr (Poe_chaos.Schedule.to_string o.Ch.schedule))
+               (jstr (Ch.verdict o)) o.Ch.completed o.Ch.samples)
+           outcomes)
+    in
+    let heartbeats =
+      String.concat "" (List.map (fun (_, o) -> o.Ch.heartbeats) outcomes)
+    in
+    (summary, heartbeats)
+  in
+  let summary1, hb1 = sweep 1 in
+  let summary4, hb4 = sweep 4 in
+  check_identical "chaos sweep summaries" summary1 summary4;
+  check_identical "chaos sweep heartbeats" hb1 hb4
 
 let () =
   Alcotest.run "parallel"

@@ -208,7 +208,7 @@ let test_wallclock_roundtrip () =
       };
     ]
   in
-  let doc = Prof.wallclock_json ~jobs:1 ~quick:true ~scale:1.0 figs in
+  let doc = Prof.wallclock_json ~jobs:1 ~quick:true ~scale:1.0 ~clients:100 figs in
   match Json.parse doc with
   | Error e -> Alcotest.failf "wallclock json does not parse: %s" e
   | Ok j -> (
@@ -242,7 +242,9 @@ let test_profile_json_parses () =
   (match Json.parse (Prof.render_json snap) with
   | Ok _ -> ()
   | Error e -> Alcotest.failf "profile json does not parse: %s" e);
-  match Json.parse (Prof.wallclock_json ~jobs:2 ~quick:false ~scale:0.5 []) with
+  match
+    Json.parse (Prof.wallclock_json ~jobs:2 ~quick:false ~scale:0.5 ~clients:0 [])
+  with
   | Ok _ -> ()
   | Error e -> Alcotest.failf "empty wallclock json does not parse: %s" e
 
